@@ -1,0 +1,131 @@
+// Command f90yc is the Fortran-90-Y compiler driver: it compiles a
+// Fortran 90 source file through the full pipeline and dumps whichever
+// intermediate representation is requested.
+//
+// Usage:
+//
+//	f90yc [flags] file.f90
+//
+//	-dump ast|nir|opt|peac|host|stats   what to print (default peac)
+//	-O                                   optimization level (default true)
+//	-pe naive|optimized                  PE code generator level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"f90y"
+	"f90y/internal/ast"
+	"f90y/internal/fe"
+	"f90y/internal/nir"
+	"f90y/internal/opt"
+	"f90y/internal/pe"
+)
+
+var (
+	flagDump = flag.String("dump", "peac", "dump: ast, nir, opt, peac, host, stats")
+	flagO    = flag.Bool("O", true, "enable the NIR shape transformations (blocking, padding)")
+	flagPE   = flag.String("pe", "optimized", "PE code generator: naive or optimized")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: f90yc [flags] file.f90")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yc:", err)
+		os.Exit(1)
+	}
+
+	cfg := f90y.Config{Opt: opt.Default, PE: pe.Optimized}
+	if !*flagO {
+		cfg.Opt = opt.Options{PadSections: true}
+	}
+	if *flagPE == "naive" {
+		cfg.PE = pe.Naive
+	}
+
+	comp, err := f90y.Compile(file, string(src), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *flagDump {
+	case "ast":
+		fmt.Print(ast.Format(comp.AST))
+	case "nir":
+		fmt.Print(nir.Print(comp.Module.Prog))
+	case "opt":
+		fmt.Print(nir.Print(comp.Optimized.Prog))
+	case "peac":
+		for _, r := range comp.Program.Routines {
+			fmt.Print(r.Format())
+			fmt.Println()
+		}
+	case "host":
+		printHost(comp.Program.Ops, 0)
+	case "stats":
+		fmt.Printf("optimizer: %d padded, %d fused, %d comms hoisted\n",
+			comp.OptStats.PaddedMoves, comp.OptStats.FusedMoves, comp.OptStats.HoistedComms)
+		fmt.Printf("partition: %d node routines, %d comm calls, %d host moves, %d fallbacks\n",
+			comp.PartStats.NodeRoutines, comp.PartStats.CommCalls,
+			comp.PartStats.HostMoves, comp.PartStats.Fallbacks)
+		for _, r := range comp.Program.Routines {
+			fmt.Printf("routine %s: %d instrs, %d issue slots, %d spill slots, %d flops/iter\n",
+				r.Name, r.InstrCount(), r.IssueSlots(), r.SpillSlots, r.FlopsPerIteration())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "f90yc: unknown dump %q\n", *flagDump)
+		os.Exit(2)
+	}
+}
+
+func printHost(ops []fe.Op, depth int) {
+	ind := ""
+	for i := 0; i < depth; i++ {
+		ind += "  "
+	}
+	for _, op := range ops {
+		switch op := op.(type) {
+		case fe.Assign:
+			fmt.Printf("%sassign %s <- %s\n", ind, nir.PrintValue(op.Tgt), nir.PrintValue(op.Src))
+		case fe.CallNode:
+			fmt.Printf("%scall-node %s over %s (%d params)\n", ind, op.Routine.Name, op.Over, len(op.Routine.Params))
+		case fe.Comm:
+			fmt.Printf("%scomm %s\n", ind, summarizeComm(op))
+		case fe.If:
+			fmt.Printf("%sif %s\n", ind, nir.PrintValue(op.Cond))
+			printHost(op.Then, depth+1)
+			if len(op.Else) > 0 {
+				fmt.Printf("%selse\n", ind)
+				printHost(op.Else, depth+1)
+			}
+		case fe.While:
+			fmt.Printf("%swhile %s\n", ind, nir.PrintValue(op.Cond))
+			printHost(op.Body, depth+1)
+		case fe.DoSerial:
+			fmt.Printf("%sdo %s\n", ind, op.S)
+			printHost(op.Body, depth+1)
+		case fe.Print:
+			fmt.Printf("%sprint (%d items)\n", ind, len(op.Args))
+		case fe.Stop:
+			fmt.Printf("%sstop\n", ind)
+		}
+	}
+}
+
+func summarizeComm(op fe.Comm) string {
+	for _, g := range op.Move.Moves {
+		if fc, ok := g.Src.(nir.FcnCall); ok {
+			return fc.Name
+		}
+	}
+	return "general-router move"
+}

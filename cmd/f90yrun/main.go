@@ -1,0 +1,135 @@
+// Command f90yrun compiles a Fortran 90 source file and executes it on
+// the simulated CM/2 (or CM-5), printing the program's output followed by
+// a performance report from the machine model.
+//
+// Usage:
+//
+//	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] file.f90
+//
+// With -verify the result is also checked elementwise against the
+// reference interpreter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"f90y"
+	"f90y/internal/cm5"
+	"f90y/internal/interp"
+	"f90y/internal/rt"
+)
+
+var (
+	flagTarget = flag.String("target", "cm2", "target machine: cm2 or cm5")
+	flagPEs    = flag.Int("pes", 2048, "processing elements (cm2 target)")
+	flagVerify = flag.Bool("verify", false, "check results against the reference interpreter")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: f90yrun [flags] file.f90")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun:", err)
+		os.Exit(1)
+	}
+
+	cfg := f90y.DefaultConfig()
+	cfg.Machine.PEs = *flagPEs
+	comp, err := f90y.Compile(file, string(src), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var output []string
+	var report string
+	switch *flagTarget {
+	case "cm2":
+		res, err := comp.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yrun:", err)
+			os.Exit(1)
+		}
+		output = res.Output
+		report = fmt.Sprintf(
+			"cm2: %d PEs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls, %d comm calls\n"+
+				"cycles: pe %.0f, comm %.0f, host %.0f | flops %d",
+			cfg.Machine.PEs, cfg.Machine.ClockHz/1e6, res.Seconds()*1e3, res.GFLOPS(),
+			res.NodeCalls, res.CommCalls, res.PECycles, res.CommCycles, res.HostCycles, res.Flops)
+		if *flagVerify {
+			verify(file, string(src), res.Store.Arrays)
+		}
+	case "cm5":
+		m := cm5.Default()
+		res, err := m.Run(comp.Program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yrun:", err)
+			os.Exit(1)
+		}
+		output = res.Output
+		report = fmt.Sprintf(
+			"cm5: %d nodes x %d VUs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls",
+			m.Nodes, m.VUsPerNode, m.ClockHz/1e6, res.Seconds()*1e3, res.GFLOPS(), res.NodeCalls)
+		if *flagVerify {
+			verify(file, string(src), res.Store.Arrays)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "f90yrun: unknown target %q\n", *flagTarget)
+		os.Exit(2)
+	}
+
+	for _, line := range output {
+		fmt.Println(line)
+	}
+	fmt.Fprintln(os.Stderr, report)
+}
+
+// verify re-runs the program under the reference interpreter and compares
+// every array elementwise; mismatches are fatal.
+func verify(file, src string, arrays map[string]*rt.Array) {
+	oracle, err := f90y.Interpret(file, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun: verify:", err)
+		os.Exit(1)
+	}
+	checked := 0
+	for name, arr := range arrays {
+		if strings.HasPrefix(name, "tmp") {
+			continue
+		}
+		oa := oracle.Array(name)
+		if oa == nil {
+			fmt.Fprintf(os.Stderr, "f90yrun: verify: oracle missing %q\n", name)
+			os.Exit(1)
+		}
+		for i := 0; i < arr.Size(); i++ {
+			var want float64
+			switch oa.Kind {
+			case interp.KInt:
+				want = float64(oa.I[i])
+			case interp.KLogical:
+				if oa.B[i] {
+					want = 1
+				}
+			default:
+				want = oa.F[i]
+			}
+			got := arr.Data[i]
+			if got != want && math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				fmt.Fprintf(os.Stderr, "f90yrun: verify: %s[%d] = %v, oracle %v\n", name, i, got, want)
+				os.Exit(1)
+			}
+			checked++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "verify: %d elements match the reference interpreter\n", checked)
+}

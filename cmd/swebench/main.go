@@ -1,0 +1,226 @@
+// Command swebench reproduces the experiments of the paper's evaluation
+// (§6 and the worked figures) on the simulated CM/2, printing
+// paper-versus-measured tables.
+//
+// Usage:
+//
+//	swebench [-n 1024] [-steps 4] [-experiment e1|e2|e3|e4|e5|e6|e7|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"f90y"
+	"f90y/internal/cm2"
+	"f90y/internal/cm5"
+	"f90y/internal/cmf"
+	"f90y/internal/nir"
+	"f90y/internal/opt"
+	"f90y/internal/pe"
+	"f90y/internal/peac"
+	"f90y/internal/starlisp"
+	"f90y/internal/workload"
+)
+
+var (
+	flagN     = flag.Int("n", 1024, "SWE grid edge")
+	flagSteps = flag.Int("steps", 4, "SWE time steps")
+	flagExp   = flag.String("experiment", "all", "experiment id: e1..e7 or all")
+)
+
+func main() {
+	flag.Parse()
+	exps := map[string]func(){
+		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6, "e7": e7,
+	}
+	if *flagExp == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
+			exps[id]()
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := exps[*flagExp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *flagExp)
+		os.Exit(2)
+	}
+	run()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "swebench:", err)
+	os.Exit(1)
+}
+
+func runF90Y(src string, cfg f90y.Config) *cm2.Result {
+	comp, err := f90y.Compile("swe.f90", src, cfg)
+	if err != nil {
+		die(err)
+	}
+	res, err := comp.Run()
+	if err != nil {
+		die(err)
+	}
+	return res
+}
+
+// e1 is the §6 performance table: SWE sustained GFLOPS for hand-coded
+// *Lisp (fieldwise), the CMF v1.1 model, and Fortran-90-Y.
+func e1() {
+	n, steps := *flagN, *flagSteps
+	src := workload.SWE(n, steps)
+
+	_, sl := starlisp.RunSWE(n, steps, starlisp.DefaultModel)
+	slGF := sl.GFLOPS(starlisp.DefaultModel.ClockHz)
+
+	machine := cm2.Default()
+	cmfProg, _, err := cmf.Compile("swe.f90", src)
+	if err != nil {
+		die(err)
+	}
+	cmfRes, err := machine.Run(cmfProg)
+	if err != nil {
+		die(err)
+	}
+
+	f90yRes := runF90Y(src, f90y.DefaultConfig())
+
+	fmt.Printf("E1 (§6): SWE sustained performance, %dx%d grid, %d steps, 2048 PEs @ 7 MHz\n", n, n, steps)
+	fmt.Printf("%-28s %-14s %s\n", "system", "modeled GF", "paper GF")
+	fmt.Printf("%-28s %-14.2f %.2f\n", "hand-coded *Lisp (fieldwise)", slGF, 1.89)
+	fmt.Printf("%-28s %-14.2f %.2f\n", "CM Fortran v1.1 (model)", cmfRes.GFLOPS(), 2.79)
+	fmt.Printf("%-28s %-14.2f %.2f\n", "Fortran-90-Y", f90yRes.GFLOPS(), 2.99)
+	fmt.Printf("detail: f90y cycles/step pe=%.0f comm=%.0f host=%.0f calls=%d | cmf calls=%d\n",
+		f90yRes.PECycles/float64(steps), f90yRes.CommCycles/float64(steps),
+		f90yRes.HostCycles/float64(steps), f90yRes.NodeCalls, cmfRes.NodeCalls)
+}
+
+// e2 is the Fig. 9 domain-blocking transformation: phase counts before and
+// after.
+func e2() {
+	src := workload.Fig9(64)
+	with := runF90Y(src, f90y.DefaultConfig())
+	without := runF90Y(src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	fmt.Println("E2 (Fig. 9): domain blocking — like-shape moves fuse into one computation block")
+	fmt.Printf("%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
+	fmt.Printf("%-24s %-12d %.0f\n", "naive (per statement)", without.NodeCalls, without.TotalCycles())
+	fmt.Printf("%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+}
+
+// e3 is the Fig. 10 masked-assignment blocking experiment.
+func e3() {
+	src := workload.Fig10(32)
+	with := runF90Y(src, f90y.DefaultConfig())
+	without := runF90Y(src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	fmt.Println("E3 (Fig. 10): masked-assignment blocking — disjoint masked sections share a block")
+	fmt.Printf("%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
+	fmt.Printf("%-24s %-12d %.0f\n", "unblocked", without.NodeCalls, without.TotalCycles())
+	fmt.Printf("%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+}
+
+// e4 is the Fig. 11 partition-structure experiment over an alternating
+// phase graph.
+func e4() {
+	src := workload.Fig11(64, 16)
+	naive, err := f90y.Compile("fig11.f90", src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	if err != nil {
+		die(err)
+	}
+	blocked, err := f90y.Compile("fig11.f90", src, f90y.DefaultConfig())
+	if err != nil {
+		die(err)
+	}
+	fmt.Println("E4 (Fig. 11): naive vs blocked vs partitioned program structure")
+	fmt.Printf("%-24s %-16s %-12s %s\n", "configuration", "node routines", "comm calls", "host ops")
+	n1 := naive.Program.CountOps()
+	n2 := blocked.Program.CountOps()
+	fmt.Printf("%-24s %-16d %-12d %d\n", "naive", n1["callnode"], n1["comm"], n1["assign"])
+	fmt.Printf("%-24s %-16d %-12d %d\n", "blocked+partitioned", n2["callnode"], n2["comm"], n2["assign"])
+}
+
+// e5 is the Fig. 12 naive-versus-optimized PEAC encoding of the SWE
+// excerpt.
+func e5() {
+	// Per-statement partitioning isolates the Fig. 12 statement as its own
+	// PEAC routine; only the PE/NIR optimization level differs.
+	src := workload.Fig12(64)
+	perStmt := opt.Options{PadSections: true}
+	compN, err := f90y.Compile("fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Naive})
+	if err != nil {
+		die(err)
+	}
+	compO, err := f90y.Compile("fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Optimized})
+	if err != nil {
+		die(err)
+	}
+	pick := func(c *f90y.Compilation) *peac.Routine {
+		var best *peac.Routine
+		for _, r := range c.Program.Routines {
+			if best == nil || r.InstrCount() > best.InstrCount() {
+				best = r
+			}
+		}
+		return best
+	}
+	rn, ro := pick(compN), pick(compO)
+	cm := peac.DefaultCost
+	fmt.Println("E5 (Fig. 12): SWE excerpt, naive vs optimized PEAC encoding")
+	fmt.Printf("%-12s %-14s %-14s %s\n", "encoding", "instructions", "issue slots", "cycles/iter")
+	fmt.Printf("%-12s %-14d %-14d %d\n", "naive", rn.InstrCount(), rn.IssueSlots(), cm.BodyCycles(rn.Body))
+	fmt.Printf("%-12s %-14d %-14d %d\n", "optimized", ro.InstrCount(), ro.IssueSlots(), cm.BodyCycles(ro.Body))
+	fmt.Println("\nnaive encoding:")
+	fmt.Print(rn.Format())
+	fmt.Println("\noptimized encoding:")
+	fmt.Print(ro.Format())
+}
+
+// e6 is the §5.2 spill-pressure experiment: cycles as live values exceed
+// the eight vector registers (one spill/restore pair = 18 cycles ≈ three
+// vector ops).
+func e6() {
+	fmt.Println("E6 (§5.2): spill pressure sweep (spill/restore pair = 18 cycles)")
+	fmt.Printf("%-8s %-14s %-12s %s\n", "terms", "instructions", "spill slots", "cycles/iter")
+	for _, terms := range []int{4, 6, 8, 10, 12, 16} {
+		src := workload.SpillKernel(1024, terms)
+		comp, err := f90y.Compile("spill.f90", src, f90y.DefaultConfig())
+		if err != nil {
+			die(err)
+		}
+		var r *peac.Routine
+		for _, rt := range comp.Program.Routines {
+			if r == nil || rt.InstrCount() > r.InstrCount() {
+				r = rt
+			}
+		}
+		fmt.Printf("%-8d %-14d %-12d %d\n", terms, r.InstrCount(), r.SpillSlots, peac.DefaultCost.BodyCycles(r.Body))
+	}
+}
+
+// e7 is the §5.3.1 CM-5 retarget: the same partitioned program runs on
+// both back ends.
+func e7() {
+	n, steps := *flagN, *flagSteps
+	src := workload.SWE(n, steps)
+	comp, err := f90y.Compile("swe.f90", src, f90y.DefaultConfig())
+	if err != nil {
+		die(err)
+	}
+	cm2Res, err := comp.Run()
+	if err != nil {
+		die(err)
+	}
+	cm5Res, err := cm5.Default().Run(comp.Program)
+	if err != nil {
+		die(err)
+	}
+	fmt.Println("E7 (§5.3.1): CM-5 retarget — identical front end, three-way node split")
+	fmt.Printf("%-10s %-12s %-16s %s\n", "target", "GFLOPS", "node calls", "comm cycles")
+	fmt.Printf("%-10s %-12.2f %-16d %.0f\n", "CM-2", cm2Res.GFLOPS(), cm2Res.NodeCalls, cm2Res.CommCycles)
+	fmt.Printf("%-10s %-12.2f %-16d %.0f\n", "CM-5", cm5Res.GFLOPS(), cm5Res.NodeCalls, cm5Res.CommCycles)
+	fmt.Printf("CM-5 node split: SPARC issue %.0f cycles, vector units %.0f cycles\n",
+		cm5Res.SPARCCycles, cm5Res.VUCycles)
+	_ = nir.True
+}

@@ -1,0 +1,108 @@
+// Package f90y is the public entry point to the Fortran-90-Y prototype
+// compiler, a reproduction of "Prototyping Fortran-90 Compilers for
+// Massively Parallel Machines" (Chen & Cowie, PLDI 1992). It drives the
+// full pipeline of the paper's Fig. 2:
+//
+//	Fortran 90 source
+//	  -> front end (lexer/parser)            internal/lexer, internal/parser
+//	  -> semantic lowering to NIR            internal/lower   (§4.1)
+//	  -> NIR shape transformations           internal/opt     (§4.2)
+//	  -> CM2/NIR partition into host + node  internal/partition (§5.1)
+//	       host remainder  -> FE host IR     internal/fe      (§5.2)
+//	       compute blocks  -> PEAC routines  internal/pe, internal/peac
+//	  -> execution on the simulated CM/2     internal/cm2, internal/rt
+//
+// A typical use:
+//
+//	comp, err := f90y.Compile("swe.f90", source, f90y.DefaultConfig())
+//	if err != nil { ... }
+//	res, err := comp.Run()
+//	fmt.Println(res.GFLOPS(), res.Output)
+package f90y
+
+import (
+	"f90y/internal/ast"
+	"f90y/internal/cm2"
+	"f90y/internal/fe"
+	"f90y/internal/interp"
+	"f90y/internal/lower"
+	"f90y/internal/opt"
+	"f90y/internal/parser"
+	"f90y/internal/partition"
+	"f90y/internal/pe"
+)
+
+// Config selects the optimization level and target machine for a
+// compilation.
+type Config struct {
+	// Opt selects the NIR transformation passes (§4.2). The zero value
+	// disables them; use opt.Default for the full compiler.
+	Opt opt.Options
+	// PE selects the PE/NIR code generator optimizations (§5.2).
+	PE pe.Options
+	// Machine is the simulated target; nil means the default 2,048-PE,
+	// 7 MHz CM/2.
+	Machine *cm2.Machine
+}
+
+// DefaultConfig is the fully optimizing Fortran-90-Y configuration.
+func DefaultConfig() Config {
+	return Config{Opt: opt.Default, PE: pe.Optimized, Machine: cm2.Default()}
+}
+
+// Compilation is the result of compiling one program: every intermediate
+// artifact of the pipeline, retained for inspection and tooling.
+type Compilation struct {
+	AST       *ast.Program
+	Module    *lower.Module // typechecked, shapechecked NIR (§4.1)
+	Optimized *lower.Module // after shape transformations (§4.2)
+	OptStats  opt.Stats
+	Program   *fe.Program // partitioned host program + PEAC routines
+	PartStats partition.Stats
+	Machine   *cm2.Machine
+}
+
+// Compile runs the front end, semantic lowering, NIR optimization, and
+// CM2/NIR partitioning.
+func Compile(filename, src string, cfg Config) (*Compilation, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = cm2.Default()
+	}
+	tree, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := lower.Lower(tree)
+	if err != nil {
+		return nil, err
+	}
+	omod, ostats := opt.Optimize(mod, cfg.Opt)
+	prog, pstats, err := partition.Compile(omod, cfg.PE)
+	if err != nil {
+		return nil, err
+	}
+	return &Compilation{
+		AST:       tree,
+		Module:    mod,
+		Optimized: omod,
+		OptStats:  ostats,
+		Program:   prog,
+		PartStats: pstats,
+		Machine:   cfg.Machine,
+	}, nil
+}
+
+// Run executes the compiled program on the simulated CM/2.
+func (c *Compilation) Run() (*cm2.Result, error) {
+	return c.Machine.Run(c.Program)
+}
+
+// Interpret runs a program under the reference interpreter (the oracle):
+// no compilation, no machine model.
+func Interpret(filename, src string) (*interp.Machine, error) {
+	tree, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(tree)
+}

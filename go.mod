@@ -1,0 +1,3 @@
+module f90y
+
+go 1.22

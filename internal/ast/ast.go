@@ -1,0 +1,312 @@
+// Package ast defines the abstract syntax tree for the Fortran 90 subset
+// accepted by the Fortran-90-Y front end (§2.1 of the paper): typed
+// declarations with array specs, whole-array and section assignment,
+// WHERE/ELSEWHERE, FORALL, DO loops, IF, CALL, PRINT, and the data-parallel
+// intrinsics.
+package ast
+
+import "f90y/internal/source"
+
+// BaseKind is an elemental (scalar) Fortran type.
+type BaseKind int
+
+// Elemental type kinds.
+const (
+	Integer BaseKind = iota
+	Real
+	Double
+	Logical
+)
+
+func (k BaseKind) String() string {
+	switch k {
+	case Integer:
+		return "integer"
+	case Real:
+		return "real"
+	case Double:
+		return "double precision"
+	case Logical:
+		return "logical"
+	}
+	return "unknown"
+}
+
+// Program is a single main program unit.
+type Program struct {
+	Name  string
+	Decls []*Decl
+	Body  []Stmt
+	Pos   source.Pos
+}
+
+// Decl is one declared entity. A scalar has nil Dims. A PARAMETER has
+// non-nil Init and is a compile-time constant.
+type Decl struct {
+	Name  string
+	Kind  BaseKind
+	Dims  []Extent // nil for scalars
+	Param bool     // PARAMETER attribute
+	Init  Expr     // initial value (required for PARAMETER)
+	Pos   source.Pos
+}
+
+// Extent is one declared array dimension, Lo:Hi inclusive. Fortran default
+// lower bound is 1. Bounds must be constant expressions in this subset.
+type Extent struct {
+	Lo Expr // nil means 1
+	Hi Expr
+}
+
+// Stmt is any executable statement.
+type Stmt interface {
+	stmt()
+	Position() source.Pos
+}
+
+// Expr is any expression.
+type Expr interface {
+	expr()
+	Position() source.Pos
+}
+
+// ---- Statements ----
+
+// Assign is scalar, whole-array, or section assignment: LHS = RHS.
+type Assign struct {
+	LHS Expr // Ident or Index
+	RHS Expr
+	Pos source.Pos
+}
+
+// If is a block IF with optional ELSE IF chain (desugared into nested Ifs
+// by the parser) and optional ELSE.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil if absent
+	Pos  source.Pos
+}
+
+// DoLoop is an indexed DO: DO Var = From, To [, Step].
+type DoLoop struct {
+	Var      string
+	From, To Expr
+	Step     Expr // nil means 1
+	Body     []Stmt
+	Pos      source.Pos
+}
+
+// DoWhile is DO WHILE (Cond).
+type DoWhile struct {
+	Cond Expr
+	Body []Stmt
+	Pos  source.Pos
+}
+
+// Where is a masked array assignment block: WHERE (Mask) ... ELSEWHERE ...
+type Where struct {
+	Mask     Expr
+	Body     []*Assign
+	ElseBody []*Assign // nil if absent
+	Pos      source.Pos
+}
+
+// ForallIndex is one index spec i = lo:hi[:step] in a FORALL header.
+type ForallIndex struct {
+	Var    string
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+}
+
+// Forall is a single-statement FORALL: FORALL (specs [, mask]) assignment.
+type Forall struct {
+	Indexes []ForallIndex
+	Mask    Expr // nil if absent
+	Assign  *Assign
+	Pos     source.Pos
+}
+
+// Call is CALL name(args).
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  source.Pos
+}
+
+// Print is PRINT *, items.
+type Print struct {
+	Items []Expr
+	Pos   source.Pos
+}
+
+// Continue is the no-op CONTINUE statement.
+type Continue struct {
+	Pos source.Pos
+}
+
+// Stop terminates execution.
+type Stop struct {
+	Pos source.Pos
+}
+
+func (*Assign) stmt()   {}
+func (*If) stmt()       {}
+func (*DoLoop) stmt()   {}
+func (*DoWhile) stmt()  {}
+func (*Where) stmt()    {}
+func (*Forall) stmt()   {}
+func (*Call) stmt()     {}
+func (*Print) stmt()    {}
+func (*Continue) stmt() {}
+func (*Stop) stmt()     {}
+
+func (s *Assign) Position() source.Pos   { return s.Pos }
+func (s *If) Position() source.Pos       { return s.Pos }
+func (s *DoLoop) Position() source.Pos   { return s.Pos }
+func (s *DoWhile) Position() source.Pos  { return s.Pos }
+func (s *Where) Position() source.Pos    { return s.Pos }
+func (s *Forall) Position() source.Pos   { return s.Pos }
+func (s *Call) Position() source.Pos     { return s.Pos }
+func (s *Print) Position() source.Pos    { return s.Pos }
+func (s *Continue) Position() source.Pos { return s.Pos }
+func (s *Stop) Position() source.Pos     { return s.Pos }
+
+// ---- Expressions ----
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Pow
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	And
+	Or
+	Eqv
+	Neqv
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Pow: "**",
+	Eq: "==", Ne: "/=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	And: ".and.", Or: ".or.", Eqv: ".eqv.", Neqv: ".neqv.",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// UnOp identifies a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	Neg UnOp = iota
+	Not
+	Plus
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case Neg:
+		return "-"
+	case Not:
+		return ".not."
+	default:
+		return "+"
+	}
+}
+
+// Ident references a declared name.
+type Ident struct {
+	Name string
+	Pos  source.Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   source.Pos
+}
+
+// RealLit is a real literal. Double reports whether the literal used a D
+// exponent (double precision).
+type RealLit struct {
+	Value  float64
+	Double bool
+	Text   string
+	Pos    source.Pos
+}
+
+// LogicalLit is .TRUE. or .FALSE..
+type LogicalLit struct {
+	Value bool
+	Pos   source.Pos
+}
+
+// StringLit is a character literal (used only in PRINT).
+type StringLit struct {
+	Value string
+	Pos   source.Pos
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	Pos  source.Pos
+}
+
+// Unary is a unary operation.
+type Unary struct {
+	Op  UnOp
+	X   Expr
+	Pos source.Pos
+}
+
+// Subscript is one dimension of an Index: either a single scalar index
+// (only Lo set, Single true) or a triplet section Lo:Hi:Step where each
+// part may be nil (defaulting to the declared bound / stride 1).
+type Subscript struct {
+	Single bool
+	Lo     Expr // the index itself when Single
+	Hi     Expr
+	Step   Expr
+}
+
+// Index is NAME(subscripts): an array element, an array section, or a
+// function/intrinsic call — disambiguated during lowering against the
+// symbol table. Arg keywords (e.g. CSHIFT(v, DIM=1, SHIFT=-1)) are held in
+// Keys, parallel to Subs; empty string means positional.
+type Index struct {
+	Name string
+	Subs []Subscript
+	Keys []string
+	Pos  source.Pos
+}
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*RealLit) expr()    {}
+func (*LogicalLit) expr() {}
+func (*StringLit) expr()  {}
+func (*Binary) expr()     {}
+func (*Unary) expr()      {}
+func (*Index) expr()      {}
+
+func (e *Ident) Position() source.Pos      { return e.Pos }
+func (e *IntLit) Position() source.Pos     { return e.Pos }
+func (e *RealLit) Position() source.Pos    { return e.Pos }
+func (e *LogicalLit) Position() source.Pos { return e.Pos }
+func (e *StringLit) Position() source.Pos  { return e.Pos }
+func (e *Binary) Position() source.Pos     { return e.Pos }
+func (e *Unary) Position() source.Pos      { return e.Pos }
+func (e *Index) Position() source.Pos      { return e.Pos }

@@ -1,0 +1,132 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatExprPrecedence(t *testing.T) {
+	a := &Ident{Name: "a"}
+	b := &Ident{Name: "b"}
+	c := &Ident{Name: "c"}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Binary{Op: Mul, L: &Binary{Op: Add, L: a, R: b}, R: c}, "(a+b)*c"},
+		{&Binary{Op: Add, L: a, R: &Binary{Op: Mul, L: b, R: c}}, "a+b*c"},
+		{&Binary{Op: Pow, L: a, R: &Binary{Op: Pow, L: b, R: c}}, "a**b**c"},
+		{&Unary{Op: Neg, X: &Binary{Op: Mul, L: a, R: b}}, "-a*b"},
+		{&Binary{Op: Sub, L: &Binary{Op: Sub, L: a, R: b}, R: c}, "a-b-c"},
+		{&Binary{Op: And, L: a, R: &Unary{Op: Not, X: b}}, "a .and. .not. b"},
+		{&Binary{Op: Lt, L: a, R: &IntLit{Value: 3}}, "a<3"},
+	}
+	for _, cse := range cases {
+		if got := FormatExpr(cse.e); got != cse.want {
+			t.Errorf("got %q want %q", got, cse.want)
+		}
+	}
+}
+
+func TestFormatLiterals(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&IntLit{Value: 42}, "42"},
+		{&RealLit{Value: 2.5, Text: "2.5d0", Double: true}, "2.5d0"},
+		{&RealLit{Value: 1.5}, "1.5"},
+		{&LogicalLit{Value: true}, ".true."},
+		{&LogicalLit{Value: false}, ".false."},
+		{&StringLit{Value: "it's"}, "'it''s'"},
+	}
+	for _, cse := range cases {
+		if got := FormatExpr(cse.e); got != cse.want {
+			t.Errorf("got %q want %q", got, cse.want)
+		}
+	}
+}
+
+func TestFormatIndexAndSections(t *testing.T) {
+	ix := &Index{
+		Name: "a",
+		Subs: []Subscript{
+			{Single: true, Lo: &IntLit{Value: 3}},
+			{Lo: &IntLit{Value: 1}, Hi: &IntLit{Value: 9}, Step: &IntLit{Value: 2}},
+			{},
+		},
+		Keys: []string{"", "", ""},
+	}
+	if got := FormatExpr(ix); got != "a(3,1:9:2,:)" {
+		t.Errorf("got %q", got)
+	}
+	call := &Index{
+		Name: "cshift",
+		Subs: []Subscript{
+			{Single: true, Lo: &Ident{Name: "v"}},
+			{Single: true, Lo: &IntLit{Value: 1}},
+		},
+		Keys: []string{"", "dim"},
+	}
+	if got := FormatExpr(call); got != "cshift(v,dim=1)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatDeclVariants(t *testing.T) {
+	d := &Decl{Name: "a", Kind: Real, Dims: []Extent{
+		{Hi: &IntLit{Value: 8}},
+		{Lo: &IntLit{Value: 0}, Hi: &IntLit{Value: 7}},
+	}}
+	got := FormatDecl(d)
+	if got != "real, dimension(8,0:7) :: a" {
+		t.Errorf("got %q", got)
+	}
+	p := &Decl{Name: "n", Kind: Integer, Param: true, Init: &IntLit{Value: 64}}
+	if got := FormatDecl(p); got != "integer, parameter :: n = 64" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatProgramStructure(t *testing.T) {
+	prog := &Program{
+		Name:  "demo",
+		Decls: []*Decl{{Name: "x", Kind: Double}},
+		Body: []Stmt{
+			&Assign{LHS: &Ident{Name: "x"}, RHS: &RealLit{Value: 1.5}},
+			&If{Cond: &Binary{Op: Gt, L: &Ident{Name: "x"}, R: &IntLit{Value: 0}},
+				Then: []Stmt{&Stop{}},
+				Else: []Stmt{&Continue{}}},
+			&Where{Mask: &Ident{Name: "m"}, Body: []*Assign{
+				{LHS: &Ident{Name: "x"}, RHS: &IntLit{Value: 0}},
+			}},
+			&Print{Items: []Expr{&StringLit{Value: "done"}}},
+		},
+	}
+	out := Format(prog)
+	for _, want := range []string{
+		"program demo", "double precision :: x", "x = 1.5",
+		"if (x>0) then", "stop", "else", "continue", "end if",
+		"where (m)", "end where", "print *, 'done'", "end program demo",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaseKindStrings(t *testing.T) {
+	if Integer.String() != "integer" || Double.String() != "double precision" ||
+		Logical.String() != "logical" || Real.String() != "real" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if Add.String() != "+" || Eqv.String() != ".eqv." || Ne.String() != "/=" {
+		t.Fatal("binop names")
+	}
+	if Neg.String() != "-" || Not.String() != ".not." || Plus.String() != "+" {
+		t.Fatal("unop names")
+	}
+}

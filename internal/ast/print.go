@@ -1,0 +1,236 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Program as canonical free-form Fortran 90 source. It is
+// used by cmd/f90yc -dump-ast and by parser round-trip tests: parsing the
+// formatted output must yield an identical tree.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, d := range p.Decls {
+		b.WriteString("  " + FormatDecl(d) + "\n")
+	}
+	formatStmts(&b, p.Body, 1)
+	fmt.Fprintf(&b, "end program %s\n", p.Name)
+	return b.String()
+}
+
+// FormatDecl renders one declaration.
+func FormatDecl(d *Decl) string {
+	var b strings.Builder
+	b.WriteString(d.Kind.String())
+	if d.Param {
+		b.WriteString(", parameter")
+	}
+	if d.Dims != nil {
+		b.WriteString(", dimension(")
+		for i, e := range d.Dims {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if e.Lo != nil {
+				b.WriteString(FormatExpr(e.Lo) + ":")
+			}
+			b.WriteString(FormatExpr(e.Hi))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" :: " + d.Name)
+	if d.Init != nil {
+		b.WriteString(" = " + FormatExpr(d.Init))
+	}
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		formatStmt(b, s, ind, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, ind string, depth int) {
+	switch s := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, FormatExpr(s.LHS), FormatExpr(s.RHS))
+	case *If:
+		fmt.Fprintf(b, "%sif (%s) then\n", ind, FormatExpr(s.Cond))
+		formatStmts(b, s.Then, depth+1)
+		if s.Else != nil {
+			fmt.Fprintf(b, "%selse\n", ind)
+			formatStmts(b, s.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%send if\n", ind)
+	case *DoLoop:
+		fmt.Fprintf(b, "%sdo %s = %s, %s", ind, s.Var, FormatExpr(s.From), FormatExpr(s.To))
+		if s.Step != nil {
+			fmt.Fprintf(b, ", %s", FormatExpr(s.Step))
+		}
+		b.WriteString("\n")
+		formatStmts(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%send do\n", ind)
+	case *DoWhile:
+		fmt.Fprintf(b, "%sdo while (%s)\n", ind, FormatExpr(s.Cond))
+		formatStmts(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%send do\n", ind)
+	case *Where:
+		fmt.Fprintf(b, "%swhere (%s)\n", ind, FormatExpr(s.Mask))
+		for _, a := range s.Body {
+			formatStmt(b, a, ind+"  ", depth+1)
+		}
+		if s.ElseBody != nil {
+			fmt.Fprintf(b, "%selsewhere\n", ind)
+			for _, a := range s.ElseBody {
+				formatStmt(b, a, ind+"  ", depth+1)
+			}
+		}
+		fmt.Fprintf(b, "%send where\n", ind)
+	case *Forall:
+		fmt.Fprintf(b, "%sforall (", ind)
+		for i, ix := range s.Indexes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s = %s:%s", ix.Var, FormatExpr(ix.Lo), FormatExpr(ix.Hi))
+			if ix.Step != nil {
+				fmt.Fprintf(b, ":%s", FormatExpr(ix.Step))
+			}
+		}
+		if s.Mask != nil {
+			fmt.Fprintf(b, ", %s", FormatExpr(s.Mask))
+		}
+		fmt.Fprintf(b, ") %s = %s\n", FormatExpr(s.Assign.LHS), FormatExpr(s.Assign.RHS))
+	case *Call:
+		fmt.Fprintf(b, "%scall %s(", ind, s.Name)
+		for i, a := range s.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(FormatExpr(a))
+		}
+		b.WriteString(")\n")
+	case *Print:
+		fmt.Fprintf(b, "%sprint *", ind)
+		for _, it := range s.Items {
+			b.WriteString(", " + FormatExpr(it))
+		}
+		b.WriteString("\n")
+	case *Continue:
+		fmt.Fprintf(b, "%scontinue\n", ind)
+	case *Stop:
+		fmt.Fprintf(b, "%sstop\n", ind)
+	default:
+		fmt.Fprintf(b, "%s! <unknown statement %T>\n", ind, s)
+	}
+}
+
+// precedence for parenthesization, higher binds tighter.
+func binPrec(op BinOp) int {
+	switch op {
+	case Or:
+		return 1
+	case And:
+		return 2
+	case Eqv, Neqv:
+		return 1
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		return 4
+	case Add, Sub:
+		return 5
+	case Mul, Div:
+		return 6
+	case Pow:
+		return 7
+	}
+	return 0
+}
+
+// FormatExpr renders one expression with minimal parentheses.
+func FormatExpr(e Expr) string { return formatExpr(e, 0) }
+
+func formatExpr(e Expr, outer int) string {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *RealLit:
+		if e.Text != "" {
+			return e.Text
+		}
+		return fmt.Sprintf("%g", e.Value)
+	case *LogicalLit:
+		if e.Value {
+			return ".true."
+		}
+		return ".false."
+	case *StringLit:
+		return "'" + strings.ReplaceAll(e.Value, "'", "''") + "'"
+	case *Unary:
+		inner := formatExpr(e.X, 6)
+		s := e.Op.String() + inner
+		if e.Op == Not {
+			s = ".not. " + inner
+		}
+		if outer > 5 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Binary:
+		p := binPrec(e.Op)
+		l := formatExpr(e.L, p)
+		// Right operand needs parens at equal precedence for the
+		// left-associative operators; ** is right-associative.
+		rp := p + 1
+		if e.Op == Pow {
+			rp = p
+		}
+		r := formatExpr(e.R, rp)
+		s := l + e.Op.String() + r
+		switch e.Op {
+		case And, Or, Eqv, Neqv:
+			s = l + " " + e.Op.String() + " " + r
+		}
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	case *Index:
+		var b strings.Builder
+		b.WriteString(e.Name + "(")
+		for i, sub := range e.Subs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if i < len(e.Keys) && e.Keys[i] != "" {
+				b.WriteString(e.Keys[i] + "=")
+			}
+			b.WriteString(formatSubscript(sub))
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func formatSubscript(s Subscript) string {
+	if s.Single {
+		return FormatExpr(s.Lo)
+	}
+	var b strings.Builder
+	if s.Lo != nil {
+		b.WriteString(FormatExpr(s.Lo))
+	}
+	b.WriteString(":")
+	if s.Hi != nil {
+		b.WriteString(FormatExpr(s.Hi))
+	}
+	if s.Step != nil {
+		b.WriteString(":" + FormatExpr(s.Step))
+	}
+	return b.String()
+}

@@ -1,0 +1,355 @@
+package cm2
+
+import (
+	"fmt"
+	"math"
+
+	"f90y/internal/peac"
+	"f90y/internal/rt"
+	"f90y/internal/shape"
+)
+
+// chunkSize bounds executor memory: registers are materialized for this
+// many elements at a time. The cycle model is analytic, so the chunk size
+// has no effect on reported performance, only on simulation memory.
+const chunkSize = 4096
+
+// stream is one pointer-register binding: an array subgrid stream or a
+// coordinate subgrid.
+type stream struct {
+	arr      *rt.Array
+	coordDim int // 0 = array stream, else coordinate dimension (1-based)
+}
+
+// ExecRoutine executes a PEAC routine functionally over the whole shape.
+// All PEs run the identical program over their subgrids; executing over
+// the flattened array in chunks is exact for grid-local code. It is
+// shared by every machine model built on the PEAC ISA (CM/2, CM/5).
+func ExecRoutine(r *peac.Routine, over shape.Shape, store *rt.Store) error {
+	n := shape.Size(over)
+	ext := shape.Extents(over)
+	lo := shape.Lowers(over)
+
+	streams := map[int]stream{}
+	scalars := map[int]float64{}
+	for _, p := range r.Params {
+		switch p.Kind {
+		case peac.ArrayParam:
+			arr, ok := store.Arrays[p.Name]
+			if !ok {
+				return fmt.Errorf("cm2: routine %s references undefined array %q", r.Name, p.Name)
+			}
+			if arr.Size() != n {
+				return fmt.Errorf("cm2: array %q size %d does not conform to shape %v", p.Name, arr.Size(), over)
+			}
+			streams[p.Reg] = stream{arr: arr}
+		case peac.CoordParam:
+			if p.Dim < 1 || p.Dim > len(ext) {
+				return fmt.Errorf("cm2: coordinate dim %d out of range for %v", p.Dim, over)
+			}
+			streams[p.Reg] = stream{coordDim: p.Dim}
+		case peac.ScalarParam:
+			v, ok := store.Scalars[p.Name]
+			if !ok {
+				return fmt.Errorf("cm2: routine %s references undefined scalar %q", r.Name, p.Name)
+			}
+			scalars[p.Reg] = v
+		case peac.ConstParam:
+			scalars[p.Reg] = p.Value
+		}
+	}
+
+	// Coordinate strides (column-major).
+	strideBelow := make([]int, len(ext))
+	s := 1
+	for d := range ext {
+		strideBelow[d] = s
+		s *= ext[d]
+	}
+
+	// Size the register file from the routine itself so register-file
+	// ablations (pe.Options.VRegs) execute unchanged.
+	nregs := peac.NumVRegs
+	for _, in := range r.Body {
+		for _, o := range []peac.Operand{in.A, in.B, in.C, in.D} {
+			if o.Kind == peac.VReg && o.N >= nregs {
+				nregs = o.N + 1
+			}
+		}
+	}
+	regs := make([][]float64, nregs)
+	for i := range regs {
+		regs[i] = make([]float64, chunkSize)
+	}
+	slots := make([][]float64, r.SpillSlots)
+	for i := range slots {
+		slots[i] = make([]float64, chunkSize)
+	}
+	memBuf := make([]float64, chunkSize)
+
+	for start := 0; start < n; start += chunkSize {
+		w := min(chunkSize, n-start)
+		if err := execChunk(r, regs, slots, memBuf, streams, scalars, start, w, ext, lo, strideBelow); err != nil {
+			return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// fetchMem reads a pointer stream for [start, start+w) into dst.
+func fetchMem(st stream, dst []float64, start, w int, ext, lo, strideBelow []int) {
+	if st.coordDim > 0 {
+		d := st.coordDim - 1
+		for i := 0; i < w; i++ {
+			off := start + i
+			dst[i] = float64(lo[d] + (off/strideBelow[d])%ext[d])
+		}
+		return
+	}
+	copy(dst[:w], st.arr.Data[start:start+w])
+}
+
+// operandVals resolves an operand to either a lane slice or a broadcast
+// scalar.
+func operandVals(o peac.Operand, regs, slots [][]float64, scalars map[int]float64, memBuf []float64) (sl []float64, sc float64) {
+	switch o.Kind {
+	case peac.VReg:
+		return regs[o.N], 0
+	case peac.SReg:
+		return nil, scalars[o.N]
+	case peac.Mem:
+		return memBuf, 0 // caller pre-fetched
+	case peac.SpillSlot:
+		return slots[o.N], 0
+	}
+	return nil, 0
+}
+
+func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
+	streams map[int]stream, scalars map[int]float64,
+	start, w int, ext, lo, strideBelow []int) error {
+
+	at := func(sl []float64, sc float64, i int) float64 {
+		if sl != nil {
+			return sl[i]
+		}
+		return sc
+	}
+
+	for _, in := range r.Body {
+		switch in.Op {
+		case peac.JNZ, peac.NOP:
+			continue
+		case peac.FLODV:
+			st, ok := streams[in.A.N]
+			if !ok {
+				return fmt.Errorf("load from unbound pointer aP%d", in.A.N)
+			}
+			fetchMem(st, regs[in.D.N], start, w, ext, lo, strideBelow)
+			continue
+		case peac.RESTV:
+			copy(regs[in.D.N][:w], slots[in.A.N][:w])
+			continue
+		case peac.SPILLV:
+			copy(slots[in.D.N][:w], regs[in.A.N][:w])
+			continue
+		case peac.FSTRV:
+			st, ok := streams[in.D.N]
+			if !ok || st.arr == nil {
+				return fmt.Errorf("store to unbound pointer aP%d", in.D.N)
+			}
+			src, srcSc := operandVals(in.A, regs, slots, scalars, memBuf)
+			if in.C.Kind != peac.NoOperand {
+				mask, maskSc := operandVals(in.C, regs, slots, scalars, memBuf)
+				for i := 0; i < w; i++ {
+					if at(mask, maskSc, i) != 0 {
+						st.arr.StoreVal(start+i, at(src, srcSc, i))
+					}
+				}
+			} else {
+				for i := 0; i < w; i++ {
+					st.arr.StoreVal(start+i, at(src, srcSc, i))
+				}
+			}
+			continue
+		}
+
+		// Arithmetic: resolve a chained memory operand first.
+		a, b, c := in.A, in.B, in.C
+		if a.Kind == peac.Mem {
+			st, ok := streams[a.N]
+			if !ok {
+				return fmt.Errorf("chained load from unbound pointer aP%d", a.N)
+			}
+			fetchMem(st, memBuf, start, w, ext, lo, strideBelow)
+		} else if b.Kind == peac.Mem {
+			st, ok := streams[b.N]
+			if !ok {
+				return fmt.Errorf("chained load from unbound pointer aP%d", b.N)
+			}
+			fetchMem(st, memBuf, start, w, ext, lo, strideBelow)
+		}
+		av, asc := operandVals(a, regs, slots, scalars, memBuf)
+		bv, bsc := operandVals(b, regs, slots, scalars, memBuf)
+		cv, csc := operandVals(c, regs, slots, scalars, memBuf)
+		dst := regs[in.D.N]
+
+		switch in.Op {
+		case peac.FADDV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i) + at(bv, bsc, i)
+			}
+		case peac.FSUBV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i) - at(bv, bsc, i)
+			}
+		case peac.FMULV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i) * at(bv, bsc, i)
+			}
+		case peac.FDIVV:
+			if in.IntOp {
+				for i := 0; i < w; i++ {
+					d := at(bv, bsc, i)
+					if d == 0 {
+						return fmt.Errorf("integer division by zero")
+					}
+					dst[i] = math.Trunc(at(av, asc, i) / d)
+				}
+			} else {
+				for i := 0; i < w; i++ {
+					dst[i] = at(av, asc, i) / at(bv, bsc, i)
+				}
+			}
+		case peac.FMODV:
+			if in.IntOp {
+				for i := 0; i < w; i++ {
+					d := at(bv, bsc, i)
+					if d == 0 {
+						return fmt.Errorf("mod by zero")
+					}
+					x := at(av, asc, i)
+					dst[i] = x - math.Trunc(x/d)*d
+				}
+			} else {
+				for i := 0; i < w; i++ {
+					dst[i] = math.Mod(at(av, asc, i), at(bv, bsc, i))
+				}
+			}
+		case peac.FMINV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Min(at(av, asc, i), at(bv, bsc, i))
+			}
+		case peac.FMAXV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Max(at(av, asc, i), at(bv, bsc, i))
+			}
+		case peac.FMADDV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i)*at(bv, bsc, i) + at(cv, csc, i)
+			}
+		case peac.FMSUBV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i)*at(bv, bsc, i) - at(cv, csc, i)
+			}
+		case peac.FNEGV:
+			for i := 0; i < w; i++ {
+				dst[i] = -at(av, asc, i)
+			}
+		case peac.FABSV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Abs(at(av, asc, i))
+			}
+		case peac.FSQRTV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Sqrt(at(av, asc, i))
+			}
+		case peac.FSINV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Sin(at(av, asc, i))
+			}
+		case peac.FCOSV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Cos(at(av, asc, i))
+			}
+		case peac.FTANV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Tan(at(av, asc, i))
+			}
+		case peac.FEXPV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Exp(at(av, asc, i))
+			}
+		case peac.FLOGV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Log(at(av, asc, i))
+			}
+		case peac.FTRNCV:
+			for i := 0; i < w; i++ {
+				dst[i] = math.Trunc(at(av, asc, i))
+			}
+		case peac.FMOVV:
+			for i := 0; i < w; i++ {
+				dst[i] = at(av, asc, i)
+			}
+		case peac.FCMPV:
+			for i := 0; i < w; i++ {
+				x, y := at(av, asc, i), at(bv, bsc, i)
+				var t bool
+				switch in.Cmp {
+				case peac.CmpEQ:
+					t = x == y
+				case peac.CmpNE:
+					t = x != y
+				case peac.CmpLT:
+					t = x < y
+				case peac.CmpLE:
+					t = x <= y
+				case peac.CmpGT:
+					t = x > y
+				case peac.CmpGE:
+					t = x >= y
+				}
+				dst[i] = b2f(t)
+			}
+		case peac.FANDV:
+			for i := 0; i < w; i++ {
+				dst[i] = b2f(at(av, asc, i) != 0 && at(bv, bsc, i) != 0)
+			}
+		case peac.FORV:
+			for i := 0; i < w; i++ {
+				dst[i] = b2f(at(av, asc, i) != 0 || at(bv, bsc, i) != 0)
+			}
+		case peac.FEQVV:
+			for i := 0; i < w; i++ {
+				dst[i] = b2f((at(av, asc, i) != 0) == (at(bv, bsc, i) != 0))
+			}
+		case peac.FNEQV:
+			for i := 0; i < w; i++ {
+				dst[i] = b2f((at(av, asc, i) != 0) != (at(bv, bsc, i) != 0))
+			}
+		case peac.FNOTV:
+			for i := 0; i < w; i++ {
+				dst[i] = b2f(at(av, asc, i) == 0)
+			}
+		case peac.FSELV:
+			for i := 0; i < w; i++ {
+				if at(cv, csc, i) != 0 {
+					dst[i] = at(av, asc, i)
+				} else {
+					dst[i] = at(bv, bsc, i)
+				}
+			}
+		default:
+			return fmt.Errorf("unimplemented opcode %v", in.Mnemonic())
+		}
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+// Package cm2 models the Connection Machine CM/2 in the slicewise
+// programming model (§2.2): up to 2,048 processing elements, each a
+// Weitek WTL3164 64-bit FPU programmed as a four-wide vector processor,
+// driven synchronously by a sequencer fed from a SPARC front end.
+//
+// The machine executes partitioned programs: the host program runs on the
+// host VM, computation blocks execute as PEAC routines over blockwise
+// subgrids with a calibrated per-instruction cycle model, and
+// communication goes through the CM runtime cost model. Execution is
+// functionally exact (results match the reference interpreter) while
+// cycles are accounted analytically per PE.
+package cm2
+
+import (
+	"fmt"
+
+	"f90y/internal/fe"
+	"f90y/internal/hostvm"
+	"f90y/internal/nir"
+	"f90y/internal/peac"
+	"f90y/internal/rt"
+	"f90y/internal/shape"
+)
+
+// Machine is one CM/2 configuration.
+type Machine struct {
+	// PEs is the number of slicewise processing elements (2,048 on a full
+	// 64K-processor CM/2). Must be a power of two.
+	PEs int
+	// ClockHz is the sequencer/Weitek clock (7 MHz).
+	ClockHz float64
+	// PECost is the PEAC instruction cycle model.
+	PECost peac.CostModel
+	// CommCost is the runtime communication model.
+	CommCost rt.CommCost
+	// HostCost is the front-end model.
+	HostCost hostvm.Cost
+}
+
+// Default returns the full-size calibrated CM/2.
+func Default() *Machine {
+	return &Machine{
+		PEs:      2048,
+		ClockHz:  7e6,
+		PECost:   peac.DefaultCost,
+		CommCost: rt.DefaultCommCost,
+		HostCost: hostvm.DefaultCost,
+	}
+}
+
+// Result is the outcome of one program execution.
+type Result struct {
+	Output  []string
+	Store   *rt.Store
+	Stopped bool
+
+	HostCycles float64
+	PECycles   float64
+	CommCycles float64
+	Flops      int64
+	NodeCalls  int
+	CommCalls  int
+	ClockHz    float64
+}
+
+// TotalCycles is the modeled end-to-end cycle count; host, node, and
+// communication time are serialized, as in the synchronous SIMD model.
+func (r *Result) TotalCycles() float64 {
+	return r.HostCycles + r.PECycles + r.CommCycles
+}
+
+// Seconds is the modeled wall time.
+func (r *Result) Seconds() float64 { return r.TotalCycles() / r.ClockHz }
+
+// GFLOPS is the modeled sustained rate.
+func (r *Result) GFLOPS() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Flops) / s / 1e9
+}
+
+// Run executes a partitioned program on the machine.
+func (m *Machine) Run(prog *fe.Program) (*Result, error) {
+	store := rt.NewStore(prog.Syms)
+	return m.RunOn(prog, store)
+}
+
+// RunOn executes against a caller-prepared store (pre-initialized data).
+func (m *Machine) RunOn(prog *fe.Program, store *rt.Store) (*Result, error) {
+	comm := &rt.Comm{Store: store, PEs: m.PEs, Cost: m.CommCost}
+	res := &Result{Store: store, ClockHz: m.ClockHz}
+
+	hooks := hostvm.Hooks{
+		Dispatch: func(r *peac.Routine, over shape.Shape) error {
+			return m.dispatch(r, over, store, res)
+		},
+		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
+	}
+	vm, err := hostvm.Run(prog, store, m.HostCost, hooks)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = vm.Output
+	res.Stopped = vm.Stopped()
+	res.HostCycles = vm.Cycles
+	res.CommCycles = comm.Cycles
+	res.CommCalls = comm.Calls
+	return res, nil
+}
+
+// dispatch runs one PEAC routine over its shape, charging the cycle model
+// and executing it functionally over the stored arrays.
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result) error {
+	if over == nil {
+		return fmt.Errorf("cm2: node routine %s without a shape", r.Name)
+	}
+	layout := shape.Blockwise(over, m.PEs)
+	sub := layout.SubgridSize()
+	res.PECycles += float64(m.PECost.RoutineCycles(r, sub))
+	itersPerPE := (sub + peac.VectorWidth - 1) / peac.VectorWidth
+	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
+	res.NodeCalls++
+	return ExecRoutine(r, over, store)
+}

@@ -1,0 +1,136 @@
+// Package cm5 is the CM5/NIR back end of §5.3.1: the retarget of the
+// specified compiler to the Connection Machine CM-5, whose processing
+// node is a SPARC augmented with four vector datapaths.
+//
+// "The CM/5 NIR compiler retains the majority of its structure and,
+// therefore, its specification from the CM/2 version... a single NIR
+// program will be split three ways rather than two; one part will go to
+// the control processor, as before; a second part will be executed on the
+// SPARC node processor, and a third part will carry out floating point
+// vector operations on the CM/5 vector datapaths."
+//
+// The package realizes exactly that: it consumes the same partitioned
+// program (fe.Program) the CM/2 back end consumes — the machine-
+// independent blocking and vectorizing NIR transformations are reused
+// unchanged — and only the node-level model differs: each node's SPARC
+// issues every computation block (charged NodeSetup cycles) and spreads
+// its subgrid across the four vector units.
+package cm5
+
+import (
+	"fmt"
+
+	"f90y/internal/cm2"
+	"f90y/internal/fe"
+	"f90y/internal/hostvm"
+	"f90y/internal/nir"
+	"f90y/internal/peac"
+	"f90y/internal/rt"
+	"f90y/internal/shape"
+)
+
+// Machine is one CM-5 configuration.
+type Machine struct {
+	// Nodes is the number of processing nodes (a large CM-5 had 1,024).
+	Nodes int
+	// VUsPerNode is the number of vector datapaths per node (4).
+	VUsPerNode int
+	// ClockHz is the node clock (32 MHz).
+	ClockHz float64
+	// NodeSetup is the SPARC issue cost per computation block per node:
+	// argument unpacking and vector-unit kickoff.
+	NodeSetup float64
+	// VUCost is the vector-datapath cycle model. The CM-5 VU issues one
+	// 64-bit result per cycle with pipelined multiply-add.
+	VUCost peac.CostModel
+	// CommCost models the fat-tree data network.
+	CommCost rt.CommCost
+	// HostCost models the control processor.
+	HostCost hostvm.Cost
+}
+
+// Default is a 1,024-node CM-5 with vector units.
+func Default() *Machine {
+	return &Machine{
+		Nodes:      1024,
+		VUsPerNode: 4,
+		ClockHz:    32e6,
+		NodeSetup:  80,
+		VUCost: peac.CostModel{
+			VectorOp:  4, // pipelined: 4 elements in 4 cycles
+			Divide:    24,
+			Sqrt:      30,
+			Transcend: 48,
+			Spill:     6,
+			LoopJnz:   1,
+		},
+		CommCost: rt.CommCost{
+			GridStartup:   80,
+			GridLocal:     1,
+			GridWire:      10, // fat tree: cheaper wires than the CM-2 grid
+			RouterStartup: 200,
+			RouterPerElem: 20,
+			ReduceStartup: 100,
+			ReducePerElem: 1,
+			HopCost:       10,
+		},
+		HostCost: hostvm.DefaultCost,
+	}
+}
+
+// Result extends the common execution result with the three-way split's
+// node-level breakdown.
+type Result struct {
+	cm2.Result
+	VUCycles    float64 // vector-datapath time
+	SPARCCycles float64 // node SPARC issue/setup time
+}
+
+// Run executes a partitioned program on the CM-5. The input is the same
+// fe.Program the CM/2 consumes: the front end is target-independent.
+func (m *Machine) Run(prog *fe.Program) (*Result, error) {
+	store := rt.NewStore(prog.Syms)
+	comm := &rt.Comm{Store: store, PEs: m.Nodes * m.VUsPerNode, Cost: m.CommCost}
+	res := &Result{}
+	res.Store = store
+	res.ClockHz = m.ClockHz
+
+	hooks := hostvm.Hooks{
+		Dispatch: func(r *peac.Routine, over shape.Shape) error {
+			return m.dispatch(r, over, store, res)
+		},
+		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
+	}
+	vm, err := hostvm.Run(prog, store, m.HostCost, hooks)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = vm.Output
+	res.Stopped = vm.Stopped()
+	res.HostCycles = vm.Cycles
+	res.CommCycles = comm.Cycles
+	res.CommCalls = comm.Calls
+	res.PECycles = res.VUCycles + res.SPARCCycles
+	return res, nil
+}
+
+// dispatch is the three-way split's node half: the control processor has
+// already broadcast the block (host side); here each node's SPARC unpacks
+// arguments and drives its four vector units over a quarter of the node
+// subgrid each.
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result) error {
+	if over == nil {
+		return fmt.Errorf("cm5: node routine %s without a shape", r.Name)
+	}
+	layout := shape.Blockwise(over, m.Nodes)
+	nodeSub := layout.SubgridSize()
+	perVU := (nodeSub + m.VUsPerNode - 1) / m.VUsPerNode
+
+	res.SPARCCycles += m.NodeSetup + float64(len(r.Params))*2
+	res.VUCycles += float64(m.VUCost.RoutineCycles(r, perVU))
+	itersPerVU := (perVU + peac.VectorWidth - 1) / peac.VectorWidth
+	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
+	res.NodeCalls++
+	res.PECycles = res.VUCycles + res.SPARCCycles
+	return cm2.ExecRoutine(r, over, store)
+}

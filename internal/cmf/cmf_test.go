@@ -1,0 +1,70 @@
+package cmf
+
+import (
+	"math"
+	"testing"
+
+	"f90y/internal/cm2"
+	"f90y/internal/interp"
+	"f90y/internal/parser"
+	"f90y/internal/workload"
+)
+
+func TestCMFModelMatchesOracle(t *testing.T) {
+	src := workload.SWE(16, 2)
+	res, err := Run("swe.f90", src, cm2.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := parser.Parse("swe.f90", src)
+	oracle, err := interp.Run(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := oracle.Array("p")
+	got := res.Store.Arrays["p"]
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-p.F[i]) > 1e-9*math.Max(1, math.Abs(p.F[i])) {
+			t.Fatalf("p[%d] = %v, oracle %v", i, got.Data[i], p.F[i])
+		}
+	}
+}
+
+func TestCMFCompilesPerStatement(t *testing.T) {
+	// No cross-statement blocking: four like-shape statements become four
+	// node routines.
+	src := `program t
+real, array(32,32) :: a, b
+a = 1.0
+b = a*2.0
+a = b + 1.0
+b = a*a
+end program t
+`
+	prog, stats, err := Compile("t.f90", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodeRoutines != 4 {
+		t.Fatalf("node routines = %d, want 4 (per statement)", stats.NodeRoutines)
+	}
+	if len(prog.Routines) != 4 {
+		t.Fatalf("routines = %d", len(prog.Routines))
+	}
+}
+
+func TestCMFSlowerThanF90YOnSWE(t *testing.T) {
+	// The §6 ordering at a moderate problem size.
+	src := workload.SWE(128, 2)
+	m := cm2.Default()
+	cmfRes, err := Run("swe.f90", src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmfRes.NodeCalls == 0 {
+		t.Fatal("no node calls")
+	}
+	if cmfRes.GFLOPS() <= 0 {
+		t.Fatal("no modeled rate")
+	}
+}

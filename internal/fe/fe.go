@@ -1,0 +1,129 @@
+// Package fe defines the host intermediate representation produced by the
+// FE/NIR compiler (§5.2): the "remainder program" left after the CM2/NIR
+// compiler excises computation blocks. DO- and MOVE-constructs over serial
+// shapes become explicit iteration; references to front-end data and CM
+// data used in a front-end context become front-end code; communication
+// intrinsics become CM runtime library calls; and for each computation
+// block executed remotely, calling code pushes PEAC procedure arguments
+// over the IFIFO to the processors.
+//
+// The host virtual machine (internal/hostvm) interprets this IR with a
+// front-end cost model standing in for SPARC code generation — per §5.2
+// the prototype's front end "uses a simple memory-to-memory load/store
+// model", its time a negligible fraction of the execution profile.
+package fe
+
+import (
+	"f90y/internal/lower"
+	"f90y/internal/nir"
+	"f90y/internal/peac"
+	"f90y/internal/shape"
+)
+
+// Op is one host operation.
+type Op interface {
+	isOp()
+}
+
+// Assign is a front-end scalar or element move: Tgt = Src when Mask is
+// true (Mask nil means unconditional).
+type Assign struct {
+	Tgt  nir.Value // SVar or AVar with Subscript field
+	Src  nir.Value
+	Mask nir.Value
+}
+
+// CallNode dispatches one PEAC routine to the processing elements: the
+// host pushes the routine's parameters (subgrid pointers, coordinate
+// subgrids, scalars, and the virtual subgrid size) over the IFIFO.
+type CallNode struct {
+	Routine *peac.Routine
+	Over    shape.Shape // the shape the computation block ranges over
+}
+
+// Comm invokes the CM runtime system for one communication-class move.
+type Comm struct {
+	Move nir.Move
+}
+
+// If is host conditional control flow.
+type If struct {
+	Cond nir.Value
+	Then []Op
+	Else []Op
+}
+
+// While is host loop control flow.
+type While struct {
+	Cond nir.Value
+	Body []Op
+}
+
+// DoSerial is explicit front-end iteration over a serial shape; the body
+// addresses the current point through local_under coordinates.
+type DoSerial struct {
+	S    shape.Shape
+	Body []Op
+}
+
+// Print emits one line of list-directed output.
+type Print struct {
+	Args []nir.Value
+}
+
+// Stop terminates execution.
+type Stop struct{}
+
+func (Assign) isOp()   {}
+func (CallNode) isOp() {}
+func (Comm) isOp()     {}
+func (If) isOp()       {}
+func (While) isOp()    {}
+func (DoSerial) isOp() {}
+func (Print) isOp()    {}
+func (Stop) isOp()     {}
+
+// Program is a fully partitioned executable: the host remainder program
+// plus the excised PEAC node procedures.
+type Program struct {
+	Name     string
+	Ops      []Op
+	Routines []*peac.Routine
+	Syms     *lower.SymTab
+}
+
+// CountOps walks the host program and returns the number of operations of
+// each concrete type, keyed by a short name. Used by the Fig. 11
+// partition-structure experiment.
+func (p *Program) CountOps() map[string]int {
+	out := map[string]int{}
+	var walk func(ops []Op)
+	walk = func(ops []Op) {
+		for _, op := range ops {
+			switch op := op.(type) {
+			case Assign:
+				out["assign"]++
+			case CallNode:
+				out["callnode"]++
+			case Comm:
+				out["comm"]++
+			case If:
+				out["if"]++
+				walk(op.Then)
+				walk(op.Else)
+			case While:
+				out["while"]++
+				walk(op.Body)
+			case DoSerial:
+				out["do"]++
+				walk(op.Body)
+			case Print:
+				out["print"]++
+			case Stop:
+				out["stop"]++
+			}
+		}
+	}
+	walk(p.Ops)
+	return out
+}

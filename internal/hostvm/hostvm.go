@@ -1,0 +1,287 @@
+// Package hostvm interprets the FE host representation against the CM
+// runtime store. It stands in for the SPARC front end of §5.2: serial
+// code, scalar arithmetic, front-end element accesses into CM data, and
+// the IFIFO pushes that dispatch PEAC node procedures. Front-end work is
+// charged against a simple cost model — the paper's prototype also used
+// "a simple memory-to-memory load/store model" on the host, whose time is
+// a negligible fraction of the profile as problem size grows.
+package hostvm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"f90y/internal/fe"
+	"f90y/internal/nir"
+	"f90y/internal/peac"
+	"f90y/internal/rt"
+	"f90y/internal/shape"
+)
+
+// Cost is the front-end cycle model.
+type Cost struct {
+	ScalarOp        float64 // per evaluated operator
+	ElemAccess      float64 // per front-end access to a CM array element
+	DispatchStart   float64 // per PEAC routine call (FIFO setup)
+	DispatchPerArg  float64 // per parameter pushed over the IFIFO
+	StatementIssued float64 // fixed decode cost per host operation
+}
+
+// DefaultCost is the calibrated host model.
+var DefaultCost = Cost{
+	ScalarOp:        1,
+	ElemAccess:      30,
+	DispatchStart:   150,
+	DispatchPerArg:  8,
+	StatementIssued: 2,
+}
+
+// Hooks connect the host VM to the machine model: node dispatch and
+// runtime communication are performed by the caller (internal/cm2).
+type Hooks struct {
+	Dispatch func(r *peac.Routine, over shape.Shape) error
+	Comm     func(m nir.Move) error
+}
+
+// VM is one host execution.
+type VM struct {
+	Store  *rt.Store
+	Cost   Cost
+	Hooks  Hooks
+	Cycles float64
+	Output []string
+
+	frames  []frame
+	stopped bool
+	steps   int
+	limit   int
+}
+
+type frame struct {
+	s   shape.Shape
+	idx int // current coordinate (serial shapes are rank 1)
+}
+
+type stopSignal struct{}
+
+// Run interprets a partitioned program.
+func Run(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks) (vm *VM, err error) {
+	vm = &VM{Store: store, Cost: cost, Hooks: hooks, limit: 500_000_000}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopSignal); ok {
+				vm.stopped = true
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = vm.exec(prog.Ops)
+	return vm, err
+}
+
+// Stopped reports whether the program ended via STOP.
+func (vm *VM) Stopped() bool { return vm.stopped }
+
+func (vm *VM) exec(ops []fe.Op) error {
+	for _, op := range ops {
+		if err := vm.execOp(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (vm *VM) tick() error {
+	vm.steps++
+	if vm.steps > vm.limit {
+		return fmt.Errorf("hostvm: step limit exceeded")
+	}
+	vm.Cycles += vm.Cost.StatementIssued
+	return nil
+}
+
+// ctx builds the evaluation context carrying the serial-loop coordinate
+// frames.
+func (vm *VM) ctx() *rt.EvalCtx {
+	c := &rt.EvalCtx{Store: vm.Store}
+	c.Local = func(s shape.Shape, dim int) (int, bool) {
+		if dim != 1 {
+			return 0, false
+		}
+		for i := len(vm.frames) - 1; i >= 0; i-- {
+			if shape.Equal(vm.frames[i].s, s) {
+				return vm.frames[i].idx, true
+			}
+		}
+		return 0, false
+	}
+	return c
+}
+
+// eval computes a scalar NIR value on the host, charging cycles.
+func (vm *VM) eval(v nir.Value) (float64, nir.ScalarKind, error) {
+	c := vm.ctx()
+	val, kind, err := rt.Eval(v, c)
+	vm.Cycles += float64(c.Ops) * vm.Cost.ScalarOp
+	// Front-end touches of CM data are expensive.
+	elems := 0
+	nir.WalkValues(v, func(x nir.Value) {
+		if _, ok := x.(nir.AVar); ok {
+			elems++
+		}
+	})
+	vm.Cycles += float64(elems) * vm.Cost.ElemAccess
+	return val, kind, err
+}
+
+func (vm *VM) execOp(op fe.Op) error {
+	if err := vm.tick(); err != nil {
+		return err
+	}
+	switch op := op.(type) {
+	case fe.Assign:
+		return vm.assign(op)
+	case fe.CallNode:
+		vm.Cycles += vm.Cost.DispatchStart + float64(len(op.Routine.Params))*vm.Cost.DispatchPerArg
+		return vm.Hooks.Dispatch(op.Routine, op.Over)
+	case fe.Comm:
+		return vm.Hooks.Comm(op.Move)
+	case fe.If:
+		c, _, err := vm.eval(op.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return vm.exec(op.Then)
+		}
+		return vm.exec(op.Else)
+	case fe.While:
+		for {
+			c, _, err := vm.eval(op.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := vm.exec(op.Body); err != nil {
+				return err
+			}
+			if err := vm.tick(); err != nil {
+				return err
+			}
+		}
+	case fe.DoSerial:
+		iv, ok := op.S.(shape.Interval)
+		if !ok {
+			return fmt.Errorf("hostvm: serial iteration over non-interval %v", op.S)
+		}
+		vm.frames = append(vm.frames, frame{s: op.S})
+		fi := len(vm.frames) - 1
+		for i := iv.Lo; i <= iv.Hi; i++ {
+			vm.frames[fi].idx = i
+			if err := vm.exec(op.Body); err != nil {
+				return err
+			}
+			if err := vm.tick(); err != nil {
+				return err
+			}
+		}
+		vm.frames = vm.frames[:fi]
+		return nil
+	case fe.Print:
+		return vm.print(op)
+	case fe.Stop:
+		panic(stopSignal{})
+	}
+	return fmt.Errorf("hostvm: unknown op %T", op)
+}
+
+func (vm *VM) assign(op fe.Assign) error {
+	if op.Mask != nil {
+		m, _, err := vm.eval(op.Mask)
+		if err != nil {
+			return err
+		}
+		if m == 0 {
+			return nil
+		}
+	}
+	val, _, err := vm.eval(op.Src)
+	if err != nil {
+		return err
+	}
+	switch tgt := op.Tgt.(type) {
+	case nir.SVar:
+		if _, ok := vm.Store.Scalars[tgt.Name]; !ok {
+			return fmt.Errorf("hostvm: store to undefined scalar %q", tgt.Name)
+		}
+		vm.Store.SetScalar(tgt.Name, val)
+		return nil
+	case nir.AVar:
+		arr, ok := vm.Store.Arrays[tgt.Name]
+		if !ok {
+			return fmt.Errorf("hostvm: undefined array %q", tgt.Name)
+		}
+		sub, ok := tgt.Field.(nir.Subscript)
+		if !ok {
+			return fmt.Errorf("hostvm: host store to %q needs element subscripts", tgt.Name)
+		}
+		idx := make([]int, len(sub.Subs))
+		for d, s := range sub.Subs {
+			v, _, err := vm.eval(s)
+			if err != nil {
+				return err
+			}
+			idx[d] = int(math.Trunc(v))
+		}
+		off, err := arr.Offset(idx)
+		if err != nil {
+			return fmt.Errorf("hostvm: %q: %w", tgt.Name, err)
+		}
+		arr.StoreVal(off, val)
+		vm.Cycles += vm.Cost.ElemAccess
+		return nil
+	}
+	return fmt.Errorf("hostvm: bad assignment target %T", op.Tgt)
+}
+
+func (vm *VM) print(op fe.Print) error {
+	var parts []string
+	for _, a := range op.Args {
+		switch a := a.(type) {
+		case nir.StrConst:
+			parts = append(parts, a.S)
+		case nir.AVar:
+			if _, ew := a.Field.(nir.Everywhere); ew {
+				arr, ok := vm.Store.Arrays[a.Name]
+				if !ok {
+					return fmt.Errorf("hostvm: undefined array %q", a.Name)
+				}
+				elems := make([]string, arr.Size())
+				for i, v := range arr.Data {
+					elems[i] = rt.FormatVal(arr.Kind, v)
+				}
+				parts = append(parts, strings.Join(elems, " "))
+				vm.Cycles += float64(arr.Size()) * vm.Cost.ElemAccess
+				continue
+			}
+			v, kind, err := vm.eval(a)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, rt.FormatVal(kind, v))
+		default:
+			v, kind, err := vm.eval(a)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, rt.FormatVal(kind, v))
+		}
+	}
+	vm.Output = append(vm.Output, strings.Join(parts, " "))
+	return nil
+}

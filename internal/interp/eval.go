@@ -1,0 +1,506 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"f90y/internal/ast"
+)
+
+func (m *Machine) evalScalar(e ast.Expr) (Val, error) {
+	r, err := m.eval(e)
+	if err != nil {
+		return Val{}, err
+	}
+	if r.isArray() {
+		return Val{}, fmt.Errorf("%s: scalar value required", e.Position())
+	}
+	return r.Val, nil
+}
+
+func (m *Machine) eval(e ast.Expr) (result, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return scalarResult(IntVal(e.Value)), nil
+	case *ast.RealLit:
+		return scalarResult(RealVal(e.Value)), nil
+	case *ast.LogicalLit:
+		return scalarResult(BoolVal(e.Value)), nil
+	case *ast.StringLit:
+		return result{Str: e.Value, IsStr: true}, nil
+	case *ast.Ident:
+		if v, ok := m.params[e.Name]; ok {
+			return scalarResult(v), nil
+		}
+		if p, ok := m.scalars[e.Name]; ok {
+			return scalarResult(*p), nil
+		}
+		if a, ok := m.arrays[e.Name]; ok {
+			return arrayResult(a.Clone()), nil
+		}
+		return result{}, fmt.Errorf("%s: undefined identifier %q", e.Pos, e.Name)
+	case *ast.Unary:
+		return m.evalUnary(e)
+	case *ast.Binary:
+		return m.evalBinary(e)
+	case *ast.Index:
+		return m.evalIndex(e)
+	}
+	return result{}, fmt.Errorf("%s: unsupported expression %T", e.Position(), e)
+}
+
+func (m *Machine) evalUnary(e *ast.Unary) (result, error) {
+	x, err := m.eval(e.X)
+	if err != nil {
+		return result{}, err
+	}
+	op := func(v Val) (Val, error) {
+		switch e.Op {
+		case ast.Neg:
+			if v.Kind == KInt {
+				return IntVal(-v.I), nil
+			}
+			return RealVal(-v.F), nil
+		case ast.Not:
+			return BoolVal(!v.B), nil
+		default:
+			return v, nil
+		}
+	}
+	return mapElems(x, op)
+}
+
+// mapElems applies a scalar function elementwise.
+func mapElems(x result, f func(Val) (Val, error)) (result, error) {
+	if !x.isArray() {
+		v, err := f(x.Val)
+		return scalarResult(v), err
+	}
+	first, err := f(x.Arr.at(0))
+	if err != nil {
+		return result{}, err
+	}
+	out := NewArray(first.Kind, x.Arr.Ext, x.Arr.Lo)
+	out.set(0, first)
+	for i := 1; i < x.Arr.Size(); i++ {
+		v, err := f(x.Arr.at(i))
+		if err != nil {
+			return result{}, err
+		}
+		out.set(i, v)
+	}
+	return arrayResult(out), nil
+}
+
+// zipElems applies a scalar function elementwise over two operands with
+// scalar broadcasting.
+func zipElems(pos fmt.Stringer, l, r result, f func(Val, Val) (Val, error)) (result, error) {
+	if !l.isArray() && !r.isArray() {
+		v, err := f(l.Val, r.Val)
+		return scalarResult(v), err
+	}
+	var ext, lo []int
+	var n int
+	if l.isArray() {
+		ext, lo, n = l.Arr.Ext, l.Arr.Lo, l.Arr.Size()
+		if r.isArray() && !l.Arr.Congruent(r.Arr) {
+			return result{}, fmt.Errorf("%s: nonconforming array operands", pos)
+		}
+	} else {
+		ext, lo, n = r.Arr.Ext, r.Arr.Lo, r.Arr.Size()
+	}
+	get := func(x result, i int) Val {
+		if x.isArray() {
+			return x.Arr.at(i)
+		}
+		return x.Val
+	}
+	first, err := f(get(l, 0), get(r, 0))
+	if err != nil {
+		return result{}, err
+	}
+	out := NewArray(first.Kind, ext, lo)
+	out.set(0, first)
+	for i := 1; i < n; i++ {
+		v, err := f(get(l, i), get(r, i))
+		if err != nil {
+			return result{}, err
+		}
+		out.set(i, v)
+	}
+	return arrayResult(out), nil
+}
+
+func numKind(a, b Val) Kind {
+	if a.Kind == KInt && b.Kind == KInt {
+		return KInt
+	}
+	return KReal
+}
+
+func (m *Machine) evalBinary(e *ast.Binary) (result, error) {
+	l, err := m.eval(e.L)
+	if err != nil {
+		return result{}, err
+	}
+	r, err := m.eval(e.R)
+	if err != nil {
+		return result{}, err
+	}
+	f := func(a, b Val) (Val, error) { return applyBin(e.Op, a, b, e) }
+	return zipElems(e.Pos, l, r, f)
+}
+
+func applyBin(op ast.BinOp, a, b Val, e *ast.Binary) (Val, error) {
+	switch op {
+	case ast.And:
+		return BoolVal(a.B && b.B), nil
+	case ast.Or:
+		return BoolVal(a.B || b.B), nil
+	case ast.Eqv:
+		return BoolVal(a.B == b.B), nil
+	case ast.Neqv:
+		return BoolVal(a.B != b.B), nil
+	case ast.Eq:
+		return BoolVal(a.AsFloat() == b.AsFloat()), nil
+	case ast.Ne:
+		return BoolVal(a.AsFloat() != b.AsFloat()), nil
+	case ast.Lt:
+		return BoolVal(a.AsFloat() < b.AsFloat()), nil
+	case ast.Le:
+		return BoolVal(a.AsFloat() <= b.AsFloat()), nil
+	case ast.Gt:
+		return BoolVal(a.AsFloat() > b.AsFloat()), nil
+	case ast.Ge:
+		return BoolVal(a.AsFloat() >= b.AsFloat()), nil
+	}
+	if numKind(a, b) == KInt {
+		x, y := a.I, b.I
+		switch op {
+		case ast.Add:
+			return IntVal(x + y), nil
+		case ast.Sub:
+			return IntVal(x - y), nil
+		case ast.Mul:
+			return IntVal(x * y), nil
+		case ast.Div:
+			if y == 0 {
+				return Val{}, fmt.Errorf("%s: integer division by zero", e.Pos)
+			}
+			return IntVal(x / y), nil
+		case ast.Pow:
+			if y < 0 {
+				if x == 0 {
+					return Val{}, fmt.Errorf("%s: zero to negative power", e.Pos)
+				}
+				// Integer power with negative exponent truncates to 0
+				// unless |x| == 1.
+				switch x {
+				case 1:
+					return IntVal(1), nil
+				case -1:
+					if y%2 == 0 {
+						return IntVal(1), nil
+					}
+					return IntVal(-1), nil
+				default:
+					return IntVal(0), nil
+				}
+			}
+			p := int64(1)
+			for k := int64(0); k < y; k++ {
+				p *= x
+			}
+			return IntVal(p), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case ast.Add:
+		return RealVal(x + y), nil
+	case ast.Sub:
+		return RealVal(x - y), nil
+	case ast.Mul:
+		return RealVal(x * y), nil
+	case ast.Div:
+		return RealVal(x / y), nil
+	case ast.Pow:
+		// Real base with integer exponent uses repeated multiplication
+		// (matches the compiled strength reduction exactly).
+		if b.Kind == KInt {
+			return RealVal(ipow(x, b.I)), nil
+		}
+		return RealVal(math.Pow(x, y)), nil
+	}
+	return Val{}, fmt.Errorf("%s: bad operator", e.Pos)
+}
+
+func ipow(x float64, n int64) float64 {
+	if n < 0 {
+		return 1 / ipow(x, -n)
+	}
+	p := 1.0
+	for k := int64(0); k < n; k++ {
+		p *= x
+	}
+	return p
+}
+
+// secDim describes one dimension of a section reference.
+type secDim struct {
+	fixed bool
+	index int   // when fixed
+	idxs  []int // declared-space indexes when iterated
+}
+
+// sectionDims resolves subscripts against an array at runtime.
+func (m *Machine) sectionDims(a *Array, e *ast.Index) ([]secDim, []int, bool, error) {
+	if len(e.Subs) != a.Rank() {
+		return nil, nil, false, fmt.Errorf("%s: %q has rank %d but %d subscripts",
+			e.Pos, e.Name, a.Rank(), len(e.Subs))
+	}
+	dims := make([]secDim, len(e.Subs))
+	var iterExt []int
+	allFixed := true
+	for d, sub := range e.Subs {
+		if sub.Single {
+			v, err := m.evalScalar(sub.Lo)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			dims[d] = secDim{fixed: true, index: int(v.AsInt())}
+			continue
+		}
+		allFixed = false
+		lo := a.Lo[d]
+		hi := a.Lo[d] + a.Ext[d] - 1
+		step := 1
+		if sub.Lo != nil {
+			v, err := m.evalScalar(sub.Lo)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			lo = int(v.AsInt())
+		}
+		if sub.Hi != nil {
+			v, err := m.evalScalar(sub.Hi)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			hi = int(v.AsInt())
+		}
+		if sub.Step != nil {
+			v, err := m.evalScalar(sub.Step)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			step = int(v.AsInt())
+			if step == 0 {
+				return nil, nil, false, fmt.Errorf("%s: zero section stride", e.Pos)
+			}
+		}
+		var idxs []int
+		if step > 0 {
+			for i := lo; i <= hi; i += step {
+				idxs = append(idxs, i)
+			}
+		} else {
+			for i := lo; i >= hi; i += step {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			return nil, nil, false, fmt.Errorf("%s: empty section of %q", e.Pos, e.Name)
+		}
+		dims[d] = secDim{idxs: idxs}
+		iterExt = append(iterExt, len(idxs))
+	}
+	return dims, iterExt, allFixed, nil
+}
+
+// walkSection iterates a section in column-major iteration order, calling
+// f with the declared-space index vector and the linear iteration
+// position.
+func walkSection(dims []secDim, f func(idx []int, pos int) error) error {
+	idx := make([]int, len(dims))
+	pos := 0
+	// Column-major: dimension 1 varies fastest, so recurse from the last
+	// dimension outward.
+	var outer func(d int) error
+	outer = func(d int) error {
+		if d < 0 {
+			err := f(idx, pos)
+			pos++
+			return err
+		}
+		if dims[d].fixed {
+			idx[d] = dims[d].index
+			return outer(d - 1)
+		}
+		for _, i := range dims[d].idxs {
+			idx[d] = i
+			if err := outer(d - 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return outer(len(dims) - 1)
+}
+
+// evalIndex evaluates NAME(...): array element, section, or intrinsic.
+func (m *Machine) evalIndex(e *ast.Index) (result, error) {
+	if a, ok := m.arrays[e.Name]; ok {
+		dims, iterExt, allFixed, err := m.sectionDims(a, e)
+		if err != nil {
+			return result{}, err
+		}
+		if allFixed {
+			idx := make([]int, len(dims))
+			for d := range dims {
+				idx[d] = dims[d].index
+			}
+			v, err := a.Get(idx)
+			if err != nil {
+				return result{}, fmt.Errorf("%s: %q: %w", e.Pos, e.Name, err)
+			}
+			return scalarResult(v), nil
+		}
+		lo := make([]int, len(iterExt))
+		for i := range lo {
+			lo[i] = 1
+		}
+		out := NewArray(a.Kind, iterExt, lo)
+		err = walkSection(dims, func(idx []int, pos int) error {
+			v, gerr := a.Get(idx)
+			if gerr != nil {
+				return fmt.Errorf("%s: %q: %w", e.Pos, e.Name, gerr)
+			}
+			out.set(pos, v)
+			return nil
+		})
+		if err != nil {
+			return result{}, err
+		}
+		return arrayResult(out), nil
+	}
+	return m.evalIntrinsic(e)
+}
+
+// execAssign performs LHS = RHS, under an optional WHERE mask.
+func (m *Machine) execAssign(s *ast.Assign, mask *Array) error {
+	rhs, err := m.eval(s.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := s.LHS.(type) {
+	case *ast.Ident:
+		if mask != nil {
+			return m.assignMasked(lhs.Name, rhs, mask, s)
+		}
+		return m.assignWhole(lhs.Name, rhs)
+	case *ast.Index:
+		a, ok := m.arrays[lhs.Name]
+		if !ok {
+			return fmt.Errorf("%s: %q is not an array", lhs.Pos, lhs.Name)
+		}
+		dims, iterExt, allFixed, err := m.sectionDims(a, lhs)
+		if err != nil {
+			return err
+		}
+		if allFixed {
+			if rhs.isArray() {
+				return fmt.Errorf("%s: array assigned to element", s.Pos)
+			}
+			idx := make([]int, len(dims))
+			for d := range dims {
+				idx[d] = dims[d].index
+			}
+			if err := a.Set(idx, rhs.Val); err != nil {
+				return fmt.Errorf("%s: %w", s.Pos, err)
+			}
+			return nil
+		}
+		// Section store (RHS already fully evaluated, so overlap is safe).
+		if rhs.isArray() {
+			n := 1
+			for _, x := range iterExt {
+				n *= x
+			}
+			if rhs.Arr.Size() != n {
+				return fmt.Errorf("%s: nonconforming section assignment", s.Pos)
+			}
+		}
+		if mask != nil {
+			n := 1
+			for _, x := range iterExt {
+				n *= x
+			}
+			if mask.Size() != n {
+				return fmt.Errorf("%s: WHERE mask does not conform to section", s.Pos)
+			}
+		}
+		return walkSection(dims, func(idx []int, pos int) error {
+			if mask != nil && !mask.B[pos] {
+				return nil
+			}
+			v := rhs.Val
+			if rhs.isArray() {
+				v = rhs.Arr.at(pos)
+			}
+			return a.Set(idx, v)
+		})
+	}
+	return fmt.Errorf("%s: invalid assignment target", s.Pos)
+}
+
+func (m *Machine) assignWhole(name string, rhs result) error {
+	if p, ok := m.scalars[name]; ok {
+		if rhs.isArray() {
+			return fmt.Errorf("array assigned to scalar %q", name)
+		}
+		*p = convertVal(rhs.Val, p.Kind)
+		return nil
+	}
+	a, ok := m.arrays[name]
+	if !ok {
+		return fmt.Errorf("assignment to undefined %q", name)
+	}
+	if rhs.isArray() {
+		if !a.Congruent(rhs.Arr) {
+			return fmt.Errorf("nonconforming assignment to %q", name)
+		}
+		for i := 0; i < a.Size(); i++ {
+			a.set(i, rhs.Arr.at(i))
+		}
+		return nil
+	}
+	for i := 0; i < a.Size(); i++ {
+		a.set(i, rhs.Val)
+	}
+	return nil
+}
+
+func (m *Machine) assignMasked(name string, rhs result, mask *Array, s *ast.Assign) error {
+	a, ok := m.arrays[name]
+	if !ok {
+		return fmt.Errorf("%s: WHERE assignment to non-array %q", s.Pos, name)
+	}
+	if !a.Congruent(mask) {
+		return fmt.Errorf("%s: WHERE mask does not conform to %q", s.Pos, name)
+	}
+	if rhs.isArray() && !a.Congruent(rhs.Arr) {
+		return fmt.Errorf("%s: nonconforming WHERE assignment to %q", s.Pos, name)
+	}
+	for i := 0; i < a.Size(); i++ {
+		if !mask.B[i] {
+			continue
+		}
+		v := rhs.Val
+		if rhs.isArray() {
+			v = rhs.Arr.at(i)
+		}
+		a.set(i, v)
+	}
+	return nil
+}

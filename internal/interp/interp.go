@@ -1,0 +1,423 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"f90y/internal/ast"
+)
+
+// Machine holds interpreter state for one program run.
+type Machine struct {
+	scalars map[string]*Val
+	arrays  map[string]*Array
+	params  map[string]Val
+	out     []string
+	stopped bool
+	steps   int
+	limit   int
+}
+
+// stopSignal unwinds execution on STOP.
+type stopSignal struct{}
+
+// Run interprets a program and returns the finished machine.
+func Run(prog *ast.Program) (m *Machine, err error) {
+	m = &Machine{
+		scalars: map[string]*Val{},
+		arrays:  map[string]*Array{},
+		params:  map[string]Val{},
+		limit:   200_000_000, // runaway-loop backstop
+	}
+	if derr := m.declare(prog.Decls); derr != nil {
+		return nil, derr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopSignal); ok {
+				m.stopped = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := m.exec(prog.Body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Output returns the PRINT lines produced by the run.
+func (m *Machine) Output() []string { return m.out }
+
+// Array returns a named array, or nil.
+func (m *Machine) Array(name string) *Array { return m.arrays[strings.ToLower(name)] }
+
+// Scalar returns a named scalar's value.
+func (m *Machine) Scalar(name string) (Val, bool) {
+	if p, ok := m.scalars[strings.ToLower(name)]; ok {
+		return *p, true
+	}
+	if v, ok := m.params[strings.ToLower(name)]; ok {
+		return v, true
+	}
+	return Val{}, false
+}
+
+func kindOf(k ast.BaseKind) Kind {
+	switch k {
+	case ast.Integer:
+		return KInt
+	case ast.Logical:
+		return KLogical
+	default:
+		return KReal
+	}
+}
+
+func (m *Machine) declare(decls []*ast.Decl) error {
+	for _, d := range decls {
+		kind := kindOf(d.Kind)
+		if d.Param {
+			v, err := m.evalScalar(d.Init)
+			if err != nil {
+				return fmt.Errorf("%s: PARAMETER %s: %w", d.Pos, d.Name, err)
+			}
+			m.params[d.Name] = convertVal(v, kind)
+			continue
+		}
+		if d.Dims == nil {
+			v := Val{Kind: kind}
+			m.scalars[d.Name] = &v
+			if d.Init != nil {
+				iv, err := m.evalScalar(d.Init)
+				if err != nil {
+					return err
+				}
+				*m.scalars[d.Name] = convertVal(iv, kind)
+			}
+			continue
+		}
+		var ext, lo []int
+		for _, e := range d.Dims {
+			l := 1
+			if e.Lo != nil {
+				lv, err := m.evalScalar(e.Lo)
+				if err != nil {
+					return err
+				}
+				l = int(lv.AsInt())
+			}
+			hv, err := m.evalScalar(e.Hi)
+			if err != nil {
+				return err
+			}
+			h := int(hv.AsInt())
+			if h < l {
+				return fmt.Errorf("%s: empty extent %d:%d for %s", d.Pos, l, h, d.Name)
+			}
+			ext = append(ext, h-l+1)
+			lo = append(lo, l)
+		}
+		m.arrays[d.Name] = NewArray(kind, ext, lo)
+		if d.Init != nil {
+			iv, err := m.eval(d.Init)
+			if err != nil {
+				return err
+			}
+			if err := m.assignWhole(d.Name, iv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func convertVal(v Val, to Kind) Val {
+	switch to {
+	case KInt:
+		return IntVal(v.AsInt())
+	case KLogical:
+		return BoolVal(v.B)
+	default:
+		return RealVal(v.AsFloat())
+	}
+}
+
+func (m *Machine) exec(stmts []ast.Stmt) error {
+	for _, s := range stmts {
+		if err := m.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) tick(s ast.Stmt) error {
+	m.steps++
+	if m.steps > m.limit {
+		return fmt.Errorf("%s: interpreter step limit exceeded", s.Position())
+	}
+	return nil
+}
+
+func (m *Machine) execStmt(s ast.Stmt) error {
+	if err := m.tick(s); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *ast.Assign:
+		return m.execAssign(s, nil)
+	case *ast.If:
+		c, err := m.evalScalar(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c.B {
+			return m.exec(s.Then)
+		}
+		return m.exec(s.Else)
+	case *ast.DoLoop:
+		return m.execDo(s)
+	case *ast.DoWhile:
+		for {
+			c, err := m.evalScalar(s.Cond)
+			if err != nil {
+				return err
+			}
+			if !c.B {
+				return nil
+			}
+			if err := m.exec(s.Body); err != nil {
+				return err
+			}
+			if err := m.tick(s); err != nil {
+				return err
+			}
+		}
+	case *ast.Where:
+		return m.execWhere(s)
+	case *ast.Forall:
+		return m.execForall(s)
+	case *ast.Print:
+		return m.execPrint(s)
+	case *ast.Continue:
+		return nil
+	case *ast.Stop:
+		panic(stopSignal{})
+	case *ast.Call:
+		return fmt.Errorf("%s: CALL %s: user subroutines unsupported", s.Pos, s.Name)
+	}
+	return fmt.Errorf("%s: unsupported statement %T", s.Position(), s)
+}
+
+func (m *Machine) execDo(s *ast.DoLoop) error {
+	from, err := m.evalScalar(s.From)
+	if err != nil {
+		return err
+	}
+	to, err := m.evalScalar(s.To)
+	if err != nil {
+		return err
+	}
+	step := int64(1)
+	if s.Step != nil {
+		sv, err := m.evalScalar(s.Step)
+		if err != nil {
+			return err
+		}
+		step = sv.AsInt()
+	}
+	if step == 0 {
+		return fmt.Errorf("%s: zero DO step", s.Pos)
+	}
+	iv, ok := m.scalars[s.Var]
+	if !ok {
+		// Implicitly typed loop index (I-N rule).
+		v := Val{Kind: KInt}
+		m.scalars[s.Var] = &v
+		iv = &v
+	}
+	i := from.AsInt()
+	for ; (step > 0 && i <= to.AsInt()) || (step < 0 && i >= to.AsInt()); i += step {
+		*iv = IntVal(i)
+		if err := m.exec(s.Body); err != nil {
+			return err
+		}
+		if err := m.tick(s); err != nil {
+			return err
+		}
+	}
+	// Fortran 90 semantics: after loop completion the DO variable holds
+	// the value after the final incrementation.
+	*iv = IntVal(i)
+	return nil
+}
+
+// execWhere evaluates the mask once, then runs body and elsewhere
+// assignments under it (Fortran 90 single-statement-group semantics).
+func (m *Machine) execWhere(s *ast.Where) error {
+	mv, err := m.eval(s.Mask)
+	if err != nil {
+		return err
+	}
+	if !mv.isArray() || mv.Arr.Kind != KLogical {
+		return fmt.Errorf("%s: WHERE mask must be a logical array", s.Pos)
+	}
+	mask := mv.Arr
+	for _, a := range s.Body {
+		if err := m.execAssign(a, mask); err != nil {
+			return err
+		}
+	}
+	if len(s.ElseBody) > 0 {
+		not := NewArray(KLogical, mask.Ext, mask.Lo)
+		for i, b := range mask.B {
+			not.B[i] = !b
+		}
+		for _, a := range s.ElseBody {
+			if err := m.execAssign(a, not); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// execForall evaluates every element's RHS before any store (FORALL
+// determinate semantics).
+func (m *Machine) execForall(s *ast.Forall) error {
+	if s.Assign == nil {
+		return nil
+	}
+	type bound struct{ lo, hi, step int64 }
+	bounds := make([]bound, len(s.Indexes))
+	for k, ix := range s.Indexes {
+		lo, err := m.evalScalar(ix.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := m.evalScalar(ix.Hi)
+		if err != nil {
+			return err
+		}
+		st := int64(1)
+		if ix.Step != nil {
+			sv, err := m.evalScalar(ix.Step)
+			if err != nil {
+				return err
+			}
+			st = sv.AsInt()
+		}
+		if st == 0 {
+			return fmt.Errorf("%s: zero FORALL stride", s.Pos)
+		}
+		bounds[k] = bound{lo.AsInt(), hi.AsInt(), st}
+	}
+
+	lhs, ok := s.Assign.LHS.(*ast.Index)
+	if !ok {
+		return fmt.Errorf("%s: FORALL target must be subscripted", s.Pos)
+	}
+	tgt := m.arrays[lhs.Name]
+	if tgt == nil {
+		return fmt.Errorf("%s: FORALL target %q is not an array", s.Pos, lhs.Name)
+	}
+
+	// Save and create the index scalars.
+	saved := map[string]*Val{}
+	for _, ix := range s.Indexes {
+		saved[ix.Var] = m.scalars[ix.Var]
+		v := Val{Kind: KInt}
+		m.scalars[ix.Var] = &v
+	}
+	defer func() {
+		for name, old := range saved {
+			if old == nil {
+				delete(m.scalars, name)
+			} else {
+				m.scalars[name] = old
+			}
+		}
+	}()
+
+	type pending struct {
+		idx []int
+		v   Val
+	}
+	var stores []pending
+	var walk func(k int) error
+	walk = func(k int) error {
+		if k == len(bounds) {
+			if s.Mask != nil {
+				mv, err := m.evalScalar(s.Mask)
+				if err != nil {
+					return err
+				}
+				if !mv.B {
+					return nil
+				}
+			}
+			idx := make([]int, len(lhs.Subs))
+			for d, sub := range lhs.Subs {
+				if !sub.Single {
+					return fmt.Errorf("%s: FORALL target must use element subscripts", s.Pos)
+				}
+				v, err := m.evalScalar(sub.Lo)
+				if err != nil {
+					return err
+				}
+				idx[d] = int(v.AsInt())
+			}
+			rv, err := m.evalScalar(s.Assign.RHS)
+			if err != nil {
+				return err
+			}
+			stores = append(stores, pending{idx: idx, v: rv})
+			return nil
+		}
+		b := bounds[k]
+		iv := m.scalars[s.Indexes[k].Var]
+		for i := b.lo; (b.step > 0 && i <= b.hi) || (b.step < 0 && i >= b.hi); i += b.step {
+			*iv = IntVal(i)
+			if err := walk(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return err
+	}
+	for _, p := range stores {
+		if err := tgt.Set(p.idx, p.v); err != nil {
+			return fmt.Errorf("%s: %w", s.Pos, err)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) execPrint(s *ast.Print) error {
+	var parts []string
+	for _, item := range s.Items {
+		r, err := m.eval(item)
+		if err != nil {
+			return err
+		}
+		switch {
+		case r.IsStr:
+			parts = append(parts, r.Str)
+		case r.isArray():
+			var elems []string
+			a := r.Arr
+			for i := 0; i < a.Size(); i++ {
+				elems = append(elems, a.at(i).String())
+			}
+			parts = append(parts, strings.Join(elems, " "))
+		default:
+			parts = append(parts, r.Val.String())
+		}
+	}
+	m.out = append(m.out, strings.Join(parts, " "))
+	return nil
+}

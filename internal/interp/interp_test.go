@@ -1,0 +1,376 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"f90y/internal/parser"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := parser.Parse("test.f90", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := Run(prog)
+	if err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+func wrap(body string) string {
+	return "program t\n" + body + "\nend program t\n"
+}
+
+func checkInts(t *testing.T, m *Machine, name string, want []int64) {
+	t.Helper()
+	a := m.Array(name)
+	if a == nil {
+		t.Fatalf("array %q missing", name)
+	}
+	if len(a.I) != len(want) {
+		t.Fatalf("%q has %d elements, want %d", name, len(a.I), len(want))
+	}
+	for i := range want {
+		if a.I[i] != want[i] {
+			t.Fatalf("%q[%d] = %d, want %d (all: %v)", name, i, a.I[i], want[i], a.I)
+		}
+	}
+}
+
+func checkFloats(t *testing.T, m *Machine, name string, want []float64) {
+	t.Helper()
+	a := m.Array(name)
+	if a == nil {
+		t.Fatalf("array %q missing", name)
+	}
+	for i := range want {
+		if math.Abs(a.F[i]-want[i]) > 1e-12 {
+			t.Fatalf("%q[%d] = %v, want %v", name, i, a.F[i], want[i])
+		}
+	}
+}
+
+func TestPaperEquivalence(t *testing.T) {
+	// §2.1 asserts the F77 loop nest and the F90 assignments are
+	// equivalent; the oracle must agree with itself on both.
+	f77 := `
+program old
+integer k(8,4), l(8)
+integer i, j
+do 10 i=1,8
+   l(i) = 6
+   do 20 j=1,4
+      k(i,j) = 2*k(i,j) + 5
+20 continue
+10 continue
+end program old
+`
+	f90 := wrap("integer k(8,4), l(8)\nl = 6\nk = 2*k + 5")
+	m1 := run(t, f77)
+	m2 := run(t, f90)
+	for i := 0; i < 32; i++ {
+		if m1.Array("k").I[i] != m2.Array("k").I[i] {
+			t.Fatalf("k[%d]: %d vs %d", i, m1.Array("k").I[i], m2.Array("k").I[i])
+		}
+	}
+	checkInts(t, m1, "l", []int64{6, 6, 6, 6, 6, 6, 6, 6})
+	if m2.Array("k").I[0] != 5 {
+		t.Fatalf("k starts zeroed, 2*0+5 = 5, got %d", m2.Array("k").I[0])
+	}
+}
+
+func TestSectionCopyOverlapSafety(t *testing.T) {
+	// §2.1: L(32:64) = L(96:128) — RHS evaluated before store. Use a
+	// small analogue with genuinely overlapping sections.
+	m := run(t, wrap(`integer l(8)
+integer i
+do i = 1, 8
+  l(i) = i
+end do
+l(1:4) = l(3:6)`))
+	checkInts(t, m, "l", []int64{3, 4, 5, 6, 5, 6, 7, 8})
+
+	// Self-overlap where naive in-place copy would corrupt.
+	m2 := run(t, wrap(`integer a(6)
+integer i
+do i = 1, 6
+  a(i) = i
+end do
+a(2:6) = a(1:5)`))
+	checkInts(t, m2, "a", []int64{1, 1, 2, 3, 4, 5})
+}
+
+func TestStrideSections(t *testing.T) {
+	// Fig. 10 semantics.
+	m := run(t, wrap(`integer a(8), b(8)
+integer i
+do i = 1, 8
+  a(i) = i*10
+end do
+b = 0
+b(1:8:2) = a(1:8:2)
+b(2:8:2) = 5*a(2:8:2)`))
+	checkInts(t, m, "b", []int64{10, 100, 30, 200, 50, 300, 70, 400})
+}
+
+func TestPowerSemantics(t *testing.T) {
+	m := run(t, wrap(`integer k(4)
+real x
+integer i
+do i = 1, 4
+  k(i) = i
+end do
+k = k**2
+x = 2.0**(-2)`))
+	checkInts(t, m, "k", []int64{1, 4, 9, 16})
+	if v, _ := m.Scalar("x"); math.Abs(v.F-0.25) > 1e-15 {
+		t.Fatalf("x = %v", v)
+	}
+}
+
+func TestIntegerDivisionTruncates(t *testing.T) {
+	m := run(t, wrap("integer a\ninteger b\na = 7/2\nb = -7/2"))
+	if v, _ := m.Scalar("a"); v.I != 3 {
+		t.Fatalf("7/2 = %d", v.I)
+	}
+	if v, _ := m.Scalar("b"); v.I != -3 {
+		t.Fatalf("-7/2 = %d", v.I)
+	}
+}
+
+func TestCshiftSemantics(t *testing.T) {
+	m := run(t, wrap(`integer a(4), b(4), c(4)
+integer i
+do i = 1, 4
+  a(i) = i
+end do
+b = cshift(a, 1)
+c = cshift(a, shift=-1)`))
+	checkInts(t, m, "b", []int64{2, 3, 4, 1})
+	checkInts(t, m, "c", []int64{4, 1, 2, 3})
+}
+
+func TestCshift2D(t *testing.T) {
+	// Column-major 2x2: a = [[1,3],[2,4]] stored 1,2,3,4.
+	m := run(t, wrap(`integer a(2,2), b(2,2), c(2,2)
+a(1,1) = 1
+a(2,1) = 2
+a(1,2) = 3
+a(2,2) = 4
+b = cshift(a, 1, 1)
+c = cshift(a, 1, 2)`))
+	// Shift along dim 1 (rows): b(i,j) = a(i+1,j) circular.
+	checkInts(t, m, "b", []int64{2, 1, 4, 3})
+	// Shift along dim 2 (cols): c(i,j) = a(i,j+1) circular.
+	checkInts(t, m, "c", []int64{3, 4, 1, 2})
+}
+
+func TestEoshift(t *testing.T) {
+	m := run(t, wrap(`integer a(4), b(4)
+integer i
+do i = 1, 4
+  a(i) = i
+end do
+b = eoshift(a, 1, boundary=-9)`))
+	checkInts(t, m, "b", []int64{2, 3, 4, -9})
+}
+
+func TestWhereElsewhere(t *testing.T) {
+	m := run(t, wrap(`real a(6), b(6)
+integer i
+do i = 1, 6
+  a(i) = i - 3.5
+end do
+where (a > 0)
+  b = a
+elsewhere
+  b = -a
+end where`))
+	checkFloats(t, m, "b", []float64{2.5, 1.5, 0.5, 0.5, 1.5, 2.5})
+}
+
+func TestWhereMaskFixedBeforeBody(t *testing.T) {
+	// The body writes a, which the mask reads: mask must be evaluated once.
+	m := run(t, wrap(`real a(4)
+a(1) = -1
+a(2) = 1
+a(3) = -2
+a(4) = 2
+where (a > 0) a = -a`))
+	checkFloats(t, m, "a", []float64{-1, -1, -2, -2})
+}
+
+func TestForallSemantics(t *testing.T) {
+	m := run(t, wrap("integer, array(3,3) :: a\nforall (i=1:3, j=1:3) a(i,j) = i + 10*j"))
+	checkInts(t, m, "a", []int64{11, 12, 13, 21, 22, 23, 31, 32, 33})
+}
+
+func TestForallEvaluatesBeforeStore(t *testing.T) {
+	// a(i) = a(i+1) in FORALL uses original values everywhere.
+	m := run(t, wrap(`integer a(4)
+integer i
+do i = 1, 4
+  a(i) = i
+end do
+forall (i=1:3) a(i) = a(i+1)`))
+	checkInts(t, m, "a", []int64{2, 3, 4, 4})
+}
+
+func TestForallWithMask(t *testing.T) {
+	m := run(t, wrap("integer, array(3,3) :: a\na = 7\nforall (i=1:3, j=1:3, i /= j) a(i,j) = 0"))
+	checkInts(t, m, "a", []int64{7, 0, 0, 0, 7, 0, 0, 0, 7})
+}
+
+func TestReductions(t *testing.T) {
+	m := run(t, wrap(`real a(5)
+real s, mx, mn
+integer i
+do i = 1, 5
+  a(i) = i*1.5
+end do
+s = sum(a)
+mx = maxval(a)
+mn = minval(a)`))
+	if v, _ := m.Scalar("s"); math.Abs(v.F-22.5) > 1e-12 {
+		t.Fatalf("sum = %v", v.F)
+	}
+	if v, _ := m.Scalar("mx"); v.F != 7.5 {
+		t.Fatalf("maxval = %v", v.F)
+	}
+	if v, _ := m.Scalar("mn"); v.F != 1.5 {
+		t.Fatalf("minval = %v", v.F)
+	}
+}
+
+func TestTransposeAndDot(t *testing.T) {
+	m := run(t, wrap(`integer, array(2,3) :: a
+integer, array(3,2) :: b
+integer v(3), w(3)
+integer d
+forall (i=1:2, j=1:3) a(i,j) = 10*i + j
+b = transpose(a)
+forall (i=1:3) v(i) = i
+forall (i=1:3) w(i) = i + 1
+d = dot_product(v, w)`))
+	// b(j,i) = a(i,j).
+	checkInts(t, m, "b", []int64{11, 12, 13, 21, 22, 23})
+	if v, _ := m.Scalar("d"); v.I != 1*2+2*3+3*4 {
+		t.Fatalf("dot = %d", v.I)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	m := run(t, wrap(`integer v(3)
+integer, array(2,3) :: a
+forall (i=1:3) v(i) = i
+a = spread(v, 1, 2)`))
+	checkInts(t, m, "a", []int64{1, 1, 2, 2, 3, 3})
+}
+
+func TestMergeIntrinsic(t *testing.T) {
+	m := run(t, wrap(`integer a(4), b(4), c(4)
+integer i
+do i = 1, 4
+  a(i) = i
+  b(i) = -i
+end do
+c = merge(a, b, a > 2)`))
+	checkInts(t, m, "c", []int64{-1, -2, 3, 4})
+}
+
+func TestDoWhileAndIf(t *testing.T) {
+	m := run(t, wrap(`integer i, s
+i = 1
+s = 0
+do while (i <= 10)
+  if (mod(i, 2) == 0) then
+    s = s + i
+  end if
+  i = i + 1
+end do`))
+	if v, _ := m.Scalar("s"); v.I != 30 {
+		t.Fatalf("s = %d", v.I)
+	}
+}
+
+func TestNegativeStepLoop(t *testing.T) {
+	m := run(t, wrap(`integer a(5)
+integer i, n
+n = 0
+do i = 5, 1, -1
+  n = n + 1
+  a(n) = i
+end do`))
+	checkInts(t, m, "a", []int64{5, 4, 3, 2, 1})
+}
+
+func TestPrintOutput(t *testing.T) {
+	m := run(t, wrap("integer i\ni = 42\nprint *, 'i =', i\nprint *, i*2"))
+	out := m.Output()
+	if len(out) != 2 || out[0] != "i = 42" || out[1] != "84" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestStopUnwinds(t *testing.T) {
+	m := run(t, wrap("integer i\ni = 1\nstop\ni = 2"))
+	if v, _ := m.Scalar("i"); v.I != 1 {
+		t.Fatalf("i = %d after stop", v.I)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	m := run(t, wrap("integer, parameter :: n = 4\nreal, parameter :: g = 9.8\nreal a(n)\na = g"))
+	checkFloats(t, m, "a", []float64{9.8, 9.8, 9.8, 9.8})
+}
+
+func TestExplicitLowerBounds(t *testing.T) {
+	m := run(t, wrap(`real, dimension(0:3) :: a
+integer i
+do i = 0, 3
+  a(i) = i*2.0
+end do
+a(0:1) = a(2:3)`))
+	checkFloats(t, m, "a", []float64{4, 6, 4, 6})
+}
+
+func TestOutOfBoundsError(t *testing.T) {
+	prog, err := parser.Parse("t.f90", wrap("integer a(4)\na(5) = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	prog, err := parser.Parse("t.f90", wrap("integer a\ninteger b\nb = 0\na = 1/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestRankReducedSection(t *testing.T) {
+	m := run(t, wrap(`integer, array(3,3) :: a
+integer c(3)
+forall (i=1:3, j=1:3) a(i,j) = 10*i + j
+c = a(2,1:3)`))
+	checkInts(t, m, "c", []int64{21, 22, 23})
+}
+
+func TestElementalIntrinsicOnArray(t *testing.T) {
+	m := run(t, wrap(`real a(3), b(3)
+a(1) = 4.0
+a(2) = 9.0
+a(3) = 16.0
+b = sqrt(a)`))
+	checkFloats(t, m, "b", []float64{2, 3, 4})
+}

@@ -1,0 +1,263 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"f90y/internal/ast"
+)
+
+// evalIntrinsic dispatches NAME(...) where NAME is not an array.
+func (m *Machine) evalIntrinsic(e *ast.Index) (result, error) {
+	args, err := m.intrinsicArgs(e)
+	if err != nil {
+		return result{}, err
+	}
+	switch e.Name {
+	case "sqrt":
+		return m.elem1(e, args, "x", math.Sqrt)
+	case "sin":
+		return m.elem1(e, args, "x", math.Sin)
+	case "cos":
+		return m.elem1(e, args, "x", math.Cos)
+	case "tan":
+		return m.elem1(e, args, "x", math.Tan)
+	case "exp":
+		return m.elem1(e, args, "x", math.Exp)
+	case "log":
+		return m.elem1(e, args, "x", math.Log)
+	case "abs":
+		return m.evalAbs(e, args)
+	case "real", "float":
+		return m.evalConv(e, args, KReal)
+	case "dble":
+		return m.evalConv(e, args, KReal)
+	case "int":
+		return m.evalConv(e, args, KInt)
+	case "mod":
+		return m.evalModFn(e, args)
+	case "min", "max":
+		return m.evalMinMax(e)
+	case "merge":
+		return m.evalMerge(e, args)
+	case "cshift":
+		return m.evalCshift(e, args, true)
+	case "eoshift":
+		return m.evalCshift(e, args, false)
+	case "sum", "product", "maxval", "minval":
+		return m.evalReduce(e, args)
+	case "any", "all", "count":
+		return m.evalLogicalReduce(e, args)
+	case "transpose":
+		return m.evalTranspose(e, args)
+	case "spread":
+		return m.evalSpread(e, args)
+	case "dot_product":
+		return m.evalDot(e, args)
+	case "size":
+		return m.evalSize(e, args)
+	}
+	return result{}, fmt.Errorf("%s: unknown function or array %q", e.Pos, e.Name)
+}
+
+var intrinsicParams = map[string][]string{
+	"sqrt": {"x"}, "sin": {"x"}, "cos": {"x"}, "tan": {"x"}, "exp": {"x"},
+	"log": {"x"}, "abs": {"x"}, "real": {"x"}, "float": {"x"}, "dble": {"x"}, "int": {"x"},
+	"mod": {"a", "p"}, "merge": {"tsource", "fsource", "mask"},
+	"cshift": {"array", "shift", "dim"}, "eoshift": {"array", "shift", "boundary", "dim"},
+	"sum": {"array"}, "product": {"array"}, "maxval": {"array"}, "minval": {"array"},
+	"any": {"mask"}, "all": {"mask"}, "count": {"mask"},
+	"transpose": {"matrix"}, "spread": {"source", "dim", "ncopies"},
+	"dot_product": {"vector_a", "vector_b"}, "size": {"array", "dim"},
+}
+
+// intrinsicArgs resolves positional/keyword arguments to expressions.
+func (m *Machine) intrinsicArgs(e *ast.Index) (map[string]ast.Expr, error) {
+	names, ok := intrinsicParams[e.Name]
+	if !ok {
+		return nil, nil // min/max handle their own variadic args
+	}
+	out := map[string]ast.Expr{}
+	for i, sub := range e.Subs {
+		if !sub.Single {
+			return nil, fmt.Errorf("%s: section invalid as argument of %q", e.Pos, e.Name)
+		}
+		key := ""
+		if i < len(e.Keys) {
+			key = e.Keys[i]
+		}
+		if key == "" {
+			if i >= len(names) {
+				return nil, fmt.Errorf("%s: too many arguments to %q", e.Pos, e.Name)
+			}
+			out[names[i]] = sub.Lo
+			continue
+		}
+		found := false
+		for _, n := range names {
+			if n == key {
+				out[n] = sub.Lo
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%s: unknown keyword %q for %q", e.Pos, key, e.Name)
+		}
+	}
+	return out, nil
+}
+
+func (m *Machine) elem1(e *ast.Index, args map[string]ast.Expr, name string, f func(float64) float64) (result, error) {
+	arg := args[name]
+	if arg == nil {
+		return result{}, fmt.Errorf("%s: %q requires an argument", e.Pos, e.Name)
+	}
+	x, err := m.eval(arg)
+	if err != nil {
+		return result{}, err
+	}
+	return mapElems(x, func(v Val) (Val, error) { return RealVal(f(v.AsFloat())), nil })
+}
+
+func (m *Machine) evalAbs(e *ast.Index, args map[string]ast.Expr) (result, error) {
+	if args["x"] == nil {
+		return result{}, fmt.Errorf("%s: abs requires an argument", e.Pos)
+	}
+	x, err := m.eval(args["x"])
+	if err != nil {
+		return result{}, err
+	}
+	return mapElems(x, func(v Val) (Val, error) {
+		if v.Kind == KInt {
+			if v.I < 0 {
+				return IntVal(-v.I), nil
+			}
+			return v, nil
+		}
+		return RealVal(math.Abs(v.F)), nil
+	})
+}
+
+func (m *Machine) evalConv(e *ast.Index, args map[string]ast.Expr, to Kind) (result, error) {
+	if args["x"] == nil {
+		return result{}, fmt.Errorf("%s: %q requires an argument", e.Pos, e.Name)
+	}
+	x, err := m.eval(args["x"])
+	if err != nil {
+		return result{}, err
+	}
+	return mapElems(x, func(v Val) (Val, error) { return convertVal(v, to), nil })
+}
+
+func (m *Machine) evalModFn(e *ast.Index, args map[string]ast.Expr) (result, error) {
+	if args["a"] == nil || args["p"] == nil {
+		return result{}, fmt.Errorf("%s: mod requires two arguments", e.Pos)
+	}
+	a, err := m.eval(args["a"])
+	if err != nil {
+		return result{}, err
+	}
+	p, err := m.eval(args["p"])
+	if err != nil {
+		return result{}, err
+	}
+	return zipElems(e.Pos, a, p, func(x, y Val) (Val, error) {
+		if numKind(x, y) == KInt {
+			if y.I == 0 {
+				return Val{}, fmt.Errorf("%s: mod by zero", e.Pos)
+			}
+			return IntVal(x.I % y.I), nil
+		}
+		return RealVal(math.Mod(x.AsFloat(), y.AsFloat())), nil
+	})
+}
+
+func (m *Machine) evalMinMax(e *ast.Index) (result, error) {
+	if len(e.Subs) < 2 {
+		return result{}, fmt.Errorf("%s: %q requires two or more arguments", e.Pos, e.Name)
+	}
+	var acc result
+	for i, sub := range e.Subs {
+		if !sub.Single {
+			return result{}, fmt.Errorf("%s: bad argument to %q", e.Pos, e.Name)
+		}
+		x, err := m.eval(sub.Lo)
+		if err != nil {
+			return result{}, err
+		}
+		if i == 0 {
+			acc = x
+			continue
+		}
+		isMax := e.Name == "max"
+		acc, err = zipElems(e.Pos, acc, x, func(a, b Val) (Val, error) {
+			if numKind(a, b) == KInt {
+				if (isMax && b.I > a.I) || (!isMax && b.I < a.I) {
+					return b, nil
+				}
+				return a, nil
+			}
+			af, bf := a.AsFloat(), b.AsFloat()
+			if (isMax && bf > af) || (!isMax && bf < af) {
+				return RealVal(bf), nil
+			}
+			return RealVal(af), nil
+		})
+		if err != nil {
+			return result{}, err
+		}
+	}
+	return acc, nil
+}
+
+func (m *Machine) evalMerge(e *ast.Index, args map[string]ast.Expr) (result, error) {
+	for _, n := range []string{"tsource", "fsource", "mask"} {
+		if args[n] == nil {
+			return result{}, fmt.Errorf("%s: merge requires tsource, fsource, mask", e.Pos)
+		}
+	}
+	t, err := m.eval(args["tsource"])
+	if err != nil {
+		return result{}, err
+	}
+	f, err := m.eval(args["fsource"])
+	if err != nil {
+		return result{}, err
+	}
+	mk, err := m.eval(args["mask"])
+	if err != nil {
+		return result{}, err
+	}
+	// Determine the result extent from the first array operand.
+	var ref *Array
+	for _, r := range []result{t, f, mk} {
+		if r.isArray() {
+			if ref != nil && !ref.Congruent(r.Arr) {
+				return result{}, fmt.Errorf("%s: nonconforming merge operands", e.Pos)
+			}
+			if ref == nil {
+				ref = r.Arr
+			}
+		}
+	}
+	get := func(r result, i int) Val {
+		if r.isArray() {
+			return r.Arr.at(i)
+		}
+		return r.Val
+	}
+	pick := func(i int) Val {
+		if get(mk, i).B {
+			return get(t, i)
+		}
+		return get(f, i)
+	}
+	if ref == nil {
+		return scalarResult(pick(0)), nil
+	}
+	out := NewArray(pick(0).Kind, ref.Ext, ref.Lo)
+	for i := 0; i < ref.Size(); i++ {
+		out.set(i, pick(i))
+	}
+	return arrayResult(out), nil
+}

@@ -1,0 +1,207 @@
+// Package interp is a direct reference interpreter for the Fortran 90
+// subset. It executes the AST against ordinary Go storage with no
+// compilation, optimization, or machine model, and serves as the oracle
+// for end-to-end correctness tests: a program compiled by Fortran-90-Y and
+// run on the simulated CM/2 must produce the same values, elementwise, as
+// this interpreter.
+//
+// Numeric semantics: REAL and DOUBLE PRECISION are both computed in
+// float64 (the compiled path computes in 64-bit Weitek arithmetic as
+// well); INTEGER uses int64 with Fortran truncating division.
+package interp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind classifies a runtime value.
+type Kind int
+
+// Runtime kinds.
+const (
+	KInt Kind = iota
+	KReal
+	KLogical
+)
+
+// Val is a runtime scalar.
+type Val struct {
+	Kind Kind
+	I    int64
+	F    float64
+	B    bool
+}
+
+// IntVal builds an integer scalar.
+func IntVal(i int64) Val { return Val{Kind: KInt, I: i} }
+
+// RealVal builds a real scalar.
+func RealVal(f float64) Val { return Val{Kind: KReal, F: f} }
+
+// BoolVal builds a logical scalar.
+func BoolVal(b bool) Val { return Val{Kind: KLogical, B: b} }
+
+// AsFloat converts a numeric scalar to float64.
+func (v Val) AsFloat() float64 {
+	if v.Kind == KInt {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// AsInt converts a numeric scalar to int64 with Fortran truncation.
+func (v Val) AsInt() int64 {
+	if v.Kind == KInt {
+		return v.I
+	}
+	return int64(math.Trunc(v.F))
+}
+
+func (v Val) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KLogical:
+		if v.B {
+			return "T"
+		}
+		return "F"
+	default:
+		return fmt.Sprintf("%g", v.F)
+	}
+}
+
+// Array is a runtime array with column-major element order (Fortran
+// storage sequence) and per-dimension lower bounds.
+type Array struct {
+	Kind Kind
+	Ext  []int // extents per dimension
+	Lo   []int // declared lower bound per dimension
+	I    []int64
+	F    []float64
+	B    []bool
+}
+
+// NewArray allocates a zeroed array.
+func NewArray(kind Kind, ext, lo []int) *Array {
+	n := 1
+	for _, e := range ext {
+		n *= e
+	}
+	a := &Array{Kind: kind, Ext: append([]int(nil), ext...), Lo: append([]int(nil), lo...)}
+	switch kind {
+	case KInt:
+		a.I = make([]int64, n)
+	case KLogical:
+		a.B = make([]bool, n)
+	default:
+		a.F = make([]float64, n)
+	}
+	return a
+}
+
+// Size is the total element count.
+func (a *Array) Size() int {
+	n := 1
+	for _, e := range a.Ext {
+		n *= e
+	}
+	return n
+}
+
+// Rank is the number of dimensions.
+func (a *Array) Rank() int { return len(a.Ext) }
+
+// offset converts per-dimension indexes (in declared index space) to the
+// column-major storage offset.
+func (a *Array) offset(idx []int) (int, error) {
+	off, stride := 0, 1
+	for d := 0; d < len(a.Ext); d++ {
+		i := idx[d] - a.Lo[d]
+		if i < 0 || i >= a.Ext[d] {
+			return 0, fmt.Errorf("subscript %d out of bounds for dimension %d (extent %d, lower %d)",
+				idx[d], d+1, a.Ext[d], a.Lo[d])
+		}
+		off += i * stride
+		stride *= a.Ext[d]
+	}
+	return off, nil
+}
+
+// Get reads the element at idx (declared index space).
+func (a *Array) Get(idx []int) (Val, error) {
+	off, err := a.offset(idx)
+	if err != nil {
+		return Val{}, err
+	}
+	return a.at(off), nil
+}
+
+func (a *Array) at(off int) Val {
+	switch a.Kind {
+	case KInt:
+		return IntVal(a.I[off])
+	case KLogical:
+		return BoolVal(a.B[off])
+	default:
+		return RealVal(a.F[off])
+	}
+}
+
+// Set writes the element at idx, converting v to the array's kind.
+func (a *Array) Set(idx []int, v Val) error {
+	off, err := a.offset(idx)
+	if err != nil {
+		return err
+	}
+	a.set(off, v)
+	return nil
+}
+
+func (a *Array) set(off int, v Val) {
+	switch a.Kind {
+	case KInt:
+		a.I[off] = v.AsInt()
+	case KLogical:
+		a.B[off] = v.B
+	default:
+		a.F[off] = v.AsFloat()
+	}
+}
+
+// Clone copies the array.
+func (a *Array) Clone() *Array {
+	out := NewArray(a.Kind, a.Ext, a.Lo)
+	copy(out.I, a.I)
+	copy(out.F, a.F)
+	copy(out.B, a.B)
+	return out
+}
+
+// Congruent reports whether two arrays have identical extents.
+func (a *Array) Congruent(b *Array) bool {
+	if len(a.Ext) != len(b.Ext) {
+		return false
+	}
+	for i := range a.Ext {
+		if a.Ext[i] != b.Ext[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// result is a scalar, an array, or (only within PRINT items) a character
+// string.
+type result struct {
+	Val   Val
+	Arr   *Array
+	Str   string
+	IsStr bool
+}
+
+func scalarResult(v Val) result   { return result{Val: v} }
+func arrayResult(a *Array) result { return result{Arr: a} }
+
+func (r result) isArray() bool { return r.Arr != nil }

@@ -1,0 +1,214 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"f90y/internal/source"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	var rep source.Reporter
+	toks := Tokens("test.f90", src, &rep)
+	if rep.HasErrors() {
+		t.Fatalf("lex %q: %v", src, rep.Err())
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...Kind) {
+	t.Helper()
+	got := kinds(lex(t, src))
+	want = append(want, EOF)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d: got %v want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	expectKinds(t, "l = 6", IDENT, ASSIGN, INT)
+}
+
+func TestArrayExpression(t *testing.T) {
+	expectKinds(t, "k = 2*k + 5", IDENT, ASSIGN, INT, STAR, IDENT, PLUS, INT)
+}
+
+func TestSectionSyntax(t *testing.T) {
+	expectKinds(t, "l(32:64) = l(96:128)",
+		IDENT, LPAREN, INT, COLON, INT, RPAREN, ASSIGN,
+		IDENT, LPAREN, INT, COLON, INT, RPAREN)
+}
+
+func TestStrideSection(t *testing.T) {
+	expectKinds(t, "b(1:32:2,:) = a(1:32:2,:)",
+		IDENT, LPAREN, INT, COLON, INT, COLON, INT, COMMA, COLON, RPAREN, ASSIGN,
+		IDENT, LPAREN, INT, COLON, INT, COLON, INT, COMMA, COLON, RPAREN)
+}
+
+func TestDeclaration(t *testing.T) {
+	expectKinds(t, "integer, array(64,64) :: a, b",
+		IDENT, COMMA, IDENT, LPAREN, INT, COMMA, INT, RPAREN, DCOLON, IDENT, COMMA, IDENT)
+}
+
+func TestPower(t *testing.T) {
+	expectKinds(t, "k = k**2", IDENT, ASSIGN, IDENT, POW, INT)
+}
+
+func TestRelationalSymbols(t *testing.T) {
+	expectKinds(t, "a == b", IDENT, EQ, IDENT)
+	expectKinds(t, "a /= b", IDENT, NE, IDENT)
+	expectKinds(t, "a <= b", IDENT, LE, IDENT)
+	expectKinds(t, "a >= b", IDENT, GE, IDENT)
+	expectKinds(t, "a < b", IDENT, LT, IDENT)
+	expectKinds(t, "a > b", IDENT, GT, IDENT)
+}
+
+func TestDottedOperators(t *testing.T) {
+	expectKinds(t, "a .eq. b .and. .not. c",
+		IDENT, EQ, IDENT, AND, NOT, IDENT)
+	expectKinds(t, "a .neqv. b .eqv. c", IDENT, NEQV, IDENT, EQV, IDENT)
+	expectKinds(t, "p = .true. .or. .false.", IDENT, ASSIGN, TRUE, OR, FALSE)
+}
+
+func TestDottedVersusRealLiteral(t *testing.T) {
+	// "1.eq.2" must lex as INT EQ INT, not REAL.
+	expectKinds(t, "if (1.eq.2) x = 1",
+		IDENT, LPAREN, INT, EQ, INT, RPAREN, IDENT, ASSIGN, INT)
+	// but "1.e5" is a real literal with exponent.
+	toks := lex(t, "x = 1.e5")
+	if toks[2].Kind != REAL || toks[2].Text != "1.e5" {
+		t.Fatalf("got %v", toks[2])
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	cases := map[string]Kind{
+		"128": INT, "0": INT,
+		"1.5": REAL, ".5": REAL, "1.": REAL,
+		"1e10": REAL, "1.5e-3": REAL, "2.5d0": REAL, "6.02E+23": REAL,
+	}
+	for text, want := range cases {
+		toks := lex(t, "x = "+text)
+		if toks[2].Kind != want || toks[2].Text != text {
+			t.Errorf("%q: got %v %q, want %v", text, toks[2].Kind, toks[2].Text, want)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks := lex(t, `print *, 'it''s fine', "x"`)
+	var strs []string
+	for _, tok := range toks {
+		if tok.Kind == STRING {
+			strs = append(strs, tok.Text)
+		}
+	}
+	if len(strs) != 2 || strs[0] != "it's fine" || strs[1] != "x" {
+		t.Fatalf("got %q", strs)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := "z = (fsdx*(v - cshift(v, dim=1, shift=-1)) &\n" +
+		"     + fsdy*u)\n"
+	toks := lex(t, src)
+	for i, tok := range toks[:len(toks)-2] {
+		if tok.Kind == NEWLINE && i != len(toks)-2 {
+			t.Fatalf("unexpected NEWLINE inside continued statement at %v", tok.Pos)
+		}
+	}
+}
+
+func TestContinuationWithLeadingAmp(t *testing.T) {
+	expectKinds(t, "x = 1 + &\n  & 2\n", IDENT, ASSIGN, INT, PLUS, INT, NEWLINE)
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "! header comment\n\nx = 1 ! trailing\n\n! another\ny = 2\n"
+	expectKinds(t, src, IDENT, ASSIGN, INT, NEWLINE, IDENT, ASSIGN, INT, NEWLINE)
+}
+
+func TestNewlineCollapsing(t *testing.T) {
+	expectKinds(t, "\n\n\nx = 1\n\n\n", IDENT, ASSIGN, INT, NEWLINE)
+}
+
+func TestSemicolonSeparator(t *testing.T) {
+	expectKinds(t, "x = 1; y = 2", IDENT, ASSIGN, INT, SEMI, IDENT, ASSIGN, INT)
+}
+
+func TestIdentifiersLowercased(t *testing.T) {
+	toks := lex(t, "CShift(V, Dim=1)")
+	if toks[0].Text != "cshift" || toks[2].Text != "v" || toks[4].Text != "dim" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lex(t, "x = 1\n  y = 2\n")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v", toks[0].Pos)
+	}
+	// tokens: x = 1 NL y = 2 NL EOF
+	y := toks[4]
+	if y.Text != "y" || y.Pos.Line != 2 || y.Pos.Col != 3 {
+		t.Errorf("y at %v (%v)", y.Pos, y)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"x = 'unterminated", "x = .bogus. y", "x = $"} {
+		var rep source.Reporter
+		Tokens("t.f90", src, &rep)
+		if !rep.HasErrors() {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestArrowAndDoubleColon(t *testing.T) {
+	expectKinds(t, "p => q", IDENT, ARROW, IDENT)
+	expectKinds(t, "integer :: i", IDENT, DCOLON, IDENT)
+}
+
+// TestEOFAlwaysTerminates is a property test: lexing any input terminates
+// with an EOF token and never panics.
+func TestEOFAlwaysTerminates(t *testing.T) {
+	f := func(s string) bool {
+		var rep source.Reporter
+		toks := Tokens("q.f90", s, &rep)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdentifierRoundTrip is a property test: any valid identifier lexes to
+// exactly one IDENT token with the lower-cased text.
+func TestIdentifierRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		name := "v" + strings.Repeat("a", int(n%20)) + "9_z"
+		var rep source.Reporter
+		toks := Tokens("q.f90", name, &rep)
+		return !rep.HasErrors() && len(toks) == 2 &&
+			toks[0].Kind == IDENT && toks[0].Text == strings.ToLower(name)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

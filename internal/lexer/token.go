@@ -1,0 +1,93 @@
+// Package lexer tokenizes free-form Fortran 90 source text.
+//
+// Fortran has no reserved words, so the lexer classifies every word as
+// IDENT (normalized to lower case) and leaves keyword recognition to the
+// parser. Dotted operators such as .AND. and .EQ. are folded onto the same
+// token kinds as their Fortran 90 symbolic spellings (== etc.).
+package lexer
+
+import "f90y/internal/source"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT  // normalized to lower case
+	INT    // integer literal
+	REAL   // real literal, possibly with E/D exponent
+	STRING // character literal
+
+	LPAREN // (
+	RPAREN // )
+	COMMA  // ,
+	COLON  // :
+	DCOLON // ::
+	SEMI   // ;
+	PCT    // %
+
+	ASSIGN // =
+	ARROW  // =>
+
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	POW    // **
+	CONCAT // //
+
+	EQ // == or .eq.
+	NE // /= or .ne.
+	LT // < or .lt.
+	LE // <= or .le.
+	GT // > or .gt.
+	GE // >= or .ge.
+
+	AND  // .and.
+	OR   // .or.
+	NOT  // .not.
+	EQV  // .eqv.
+	NEQV // .neqv.
+
+	TRUE  // .true.
+	FALSE // .false.
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", NEWLINE: "end of line", IDENT: "identifier",
+	INT: "integer literal", REAL: "real literal", STRING: "string literal",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", COLON: ":", DCOLON: "::",
+	SEMI: ";", PCT: "%", ASSIGN: "=", ARROW: "=>",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", POW: "**", CONCAT: "//",
+	EQ: "==", NE: "/=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	AND: ".and.", OR: ".or.", NOT: ".not.", EQV: ".eqv.", NEQV: ".neqv.",
+	TRUE: ".true.", FALSE: ".false.",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown token"
+}
+
+// Token is a single lexical token with its source position and, for
+// literal-bearing kinds, the literal text (identifiers lower-cased,
+// numeric literals verbatim, strings with quotes stripped and doubled
+// quotes collapsed).
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  source.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, REAL, STRING:
+		return t.Kind.String() + " " + t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,437 @@
+package lower
+
+import (
+	"f90y/internal/ast"
+	"f90y/internal/nir"
+	"f90y/internal/shape"
+)
+
+// intrinsicFn lowers one intrinsic call.
+type intrinsicFn func(*lowerer, *ast.Index) tv
+
+// intrinsics maps intrinsic names to their lowering rules. Elemental
+// intrinsics become unary/binary value operators; transformational ones
+// (CSHIFT, SUM, TRANSPOSE, ...) become cm_* runtime FcnCalls computed into
+// compiler temporaries — the paper's tmp0/tmp1 pattern (Fig. 12) — which
+// the optimizer then classifies as communication phases.
+var intrinsics map[string]intrinsicFn
+
+func init() {
+	intrinsics = map[string]intrinsicFn{
+		"sqrt": elemental(nir.Sqrt), "sin": elemental(nir.Sin), "cos": elemental(nir.Cos),
+		"tan": elemental(nir.Tan), "exp": elemental(nir.Exp), "log": elemental(nir.Log),
+		"abs":   lowerAbs,
+		"real":  conversion(nir.ToFloat32, nir.Float32),
+		"float": conversion(nir.ToFloat32, nir.Float32),
+		"dble":  conversion(nir.ToFloat64, nir.Float64),
+		"int":   conversion(nir.ToInteger32, nir.Integer32),
+		"mod":   lowerMod,
+		"min":   variadic(nir.Min), "max": variadic(nir.Max),
+		"merge":       lowerMerge,
+		"cshift":      lowerCshift,
+		"eoshift":     lowerEoshift,
+		"sum":         reduction("cm_reduce_sum"),
+		"product":     reduction("cm_reduce_product"),
+		"maxval":      reduction("cm_reduce_max"),
+		"minval":      reduction("cm_reduce_min"),
+		"any":         logicalReduction("cm_reduce_any", nir.Logical32),
+		"all":         logicalReduction("cm_reduce_all", nir.Logical32),
+		"count":       logicalReduction("cm_reduce_count", nir.Integer32),
+		"transpose":   lowerTranspose,
+		"spread":      lowerSpread,
+		"dot_product": lowerDotProduct,
+		"size":        lowerSize,
+	}
+}
+
+// getArgs resolves positional and keyword arguments of an intrinsic call
+// against the given parameter names. Missing optional arguments are nil.
+func (lw *lowerer) getArgs(e *ast.Index, names ...string) []ast.Expr {
+	out := make([]ast.Expr, len(names))
+	positional := true
+	for i, sub := range e.Subs {
+		if !sub.Single {
+			lw.rep.Errorf("typecheck", e.Pos, "section triplet invalid as argument of %q", e.Name)
+			continue
+		}
+		key := ""
+		if i < len(e.Keys) {
+			key = e.Keys[i]
+		}
+		if key == "" {
+			if !positional {
+				lw.rep.Errorf("typecheck", e.Pos, "positional argument after keyword argument in %q", e.Name)
+				continue
+			}
+			if i >= len(names) {
+				lw.rep.Errorf("typecheck", e.Pos, "too many arguments to %q", e.Name)
+				continue
+			}
+			out[i] = sub.Lo
+			continue
+		}
+		positional = false
+		found := false
+		for j, n := range names {
+			if n == key {
+				out[j] = sub.Lo
+				found = true
+				break
+			}
+		}
+		if !found {
+			lw.rep.Errorf("typecheck", e.Pos, "unknown keyword argument %q to %q", key, e.Name)
+		}
+	}
+	return out
+}
+
+func elemental(op nir.UnOp) intrinsicFn {
+	return func(lw *lowerer, e *ast.Index) tv {
+		args := lw.getArgs(e, "x")
+		if args[0] == nil {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires an argument", e.Name)
+			return badTV
+		}
+		x := lw.lowerExpr(args[0])
+		k := x.kind
+		if k == nir.Integer32 {
+			x.v = convert(x.v, k, nir.Float64)
+			k = nir.Float64
+		}
+		if k == nir.Logical32 {
+			lw.rep.Errorf("typecheck", e.Pos, "%q of a logical value", e.Name)
+			return badTV
+		}
+		return tv{v: nir.Unary{Op: op, X: x.v}, kind: k, shape: x.shape}
+	}
+}
+
+func lowerAbs(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "x")
+	if args[0] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "abs requires an argument")
+		return badTV
+	}
+	x := lw.lowerExpr(args[0])
+	if x.kind == nir.Logical32 {
+		lw.rep.Errorf("typecheck", e.Pos, "abs of a logical value")
+		return badTV
+	}
+	return tv{v: nir.Unary{Op: nir.Abs, X: x.v}, kind: x.kind, shape: x.shape}
+}
+
+func conversion(op nir.UnOp, to nir.ScalarKind) intrinsicFn {
+	return func(lw *lowerer, e *ast.Index) tv {
+		args := lw.getArgs(e, "x")
+		if args[0] == nil {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires an argument", e.Name)
+			return badTV
+		}
+		x := lw.lowerExpr(args[0])
+		if x.kind == to {
+			return x
+		}
+		return tv{v: nir.Unary{Op: op, X: x.v}, kind: to, shape: x.shape}
+	}
+}
+
+func lowerMod(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "a", "p")
+	if args[0] == nil || args[1] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "mod requires two arguments")
+		return badTV
+	}
+	a := lw.lowerExpr(args[0])
+	p := lw.lowerExpr(args[1])
+	k := promote(a.kind, p.kind)
+	sh := lw.unifyShapes(a.shape, p.shape, e.Pos)
+	return tv{v: nir.Binary{Op: nir.Mod, L: convert(a.v, a.kind, k), R: convert(p.v, p.kind, k)}, kind: k, shape: sh}
+}
+
+func variadic(op nir.BinOp) intrinsicFn {
+	return func(lw *lowerer, e *ast.Index) tv {
+		if len(e.Subs) < 2 {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires at least two arguments", e.Name)
+			return badTV
+		}
+		var acc tv
+		for i, sub := range e.Subs {
+			if !sub.Single {
+				lw.rep.Errorf("typecheck", e.Pos, "bad argument %d to %q", i+1, e.Name)
+				return badTV
+			}
+			x := lw.lowerExpr(sub.Lo)
+			if i == 0 {
+				acc = x
+				continue
+			}
+			k := promote(acc.kind, x.kind)
+			sh := lw.unifyShapes(acc.shape, x.shape, e.Pos)
+			acc = tv{v: nir.Binary{Op: op, L: convert(acc.v, acc.kind, k), R: convert(x.v, x.kind, k)}, kind: k, shape: sh}
+		}
+		return acc
+	}
+}
+
+// lowerMerge lowers MERGE(tsource, fsource, mask) by materializing a
+// temporary and issuing a pair of complementary masked moves — the same
+// masked-move encoding the slicewise PE uses for conditional assignment
+// (§2.2: "the programmer must use masked moves to simulate conditional
+// assignment").
+func lowerMerge(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "tsource", "fsource", "mask")
+	if args[0] == nil || args[1] == nil || args[2] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "merge requires tsource, fsource, mask")
+		return badTV
+	}
+	t := lw.lowerExpr(args[0])
+	f := lw.lowerExpr(args[1])
+	m := lw.lowerExpr(args[2])
+	if m.kind != nir.Logical32 {
+		lw.rep.Errorf("typecheck", e.Pos, "merge mask must be logical")
+		return badTV
+	}
+	k := promote(t.kind, f.kind)
+	sh := lw.unifyShapes(lw.unifyShapes(t.shape, f.shape, e.Pos), m.shape, e.Pos)
+	tmp := lw.freshTemp(k, sh, e.Pos)
+	var tgt nir.Value
+	if sh == nil {
+		tgt = nir.SVar{Name: tmp.Name}
+	} else {
+		tgt = nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
+	}
+	lw.pre = append(lw.pre, nir.Move{Over: sh, Moves: []nir.GuardedMove{
+		{Mask: m.v, Src: convert(t.v, t.kind, k), Tgt: tgt},
+		{Mask: nir.Unary{Op: nir.NotU, X: m.v}, Src: convert(f.v, f.kind, k), Tgt: tgt},
+	}})
+	return tv{v: tgt, kind: k, shape: sh}
+}
+
+// materializeField forces a field-valued tv into a named whole-array
+// reference, computing it into a temporary if necessary, so communication
+// intrinsics always operate on plain arrays.
+func (lw *lowerer) materializeField(x tv, e ast.Expr) tv {
+	if av, ok := x.v.(nir.AVar); ok {
+		if _, ew := av.Field.(nir.Everywhere); ew {
+			return x
+		}
+	}
+	tmp := lw.freshTemp(x.kind, x.shape, e.Position())
+	tgt := nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
+	lw.pre = append(lw.pre, nir.Move{Over: x.shape, Moves: []nir.GuardedMove{
+		{Mask: nir.True, Src: x.v, Tgt: tgt},
+	}})
+	return tv{v: tgt, kind: x.kind, shape: x.shape}
+}
+
+// commCall emits MOVE[(True, (FCNCALL(name, args), tmp))] and returns the
+// temporary holding the result.
+func (lw *lowerer) commCall(name string, args []nir.Value, kind nir.ScalarKind, sh shape.Shape, e ast.Expr) tv {
+	tmp := lw.freshTemp(kind, sh, e.Position())
+	var tgt nir.Value
+	if sh == nil {
+		tgt = nir.SVar{Name: tmp.Name}
+	} else {
+		tgt = nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
+	}
+	lw.pre = append(lw.pre, nir.Move{Over: sh, Moves: []nir.GuardedMove{
+		{Mask: nir.True, Src: nir.FcnCall{Name: name, Args: args}, Tgt: tgt},
+	}})
+	return tv{v: tgt, kind: kind, shape: sh}
+}
+
+func lowerCshift(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "array", "shift", "dim")
+	if args[0] == nil || args[1] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "cshift requires array and shift")
+		return badTV
+	}
+	arr := lw.lowerExpr(args[0])
+	if arr.scalar() {
+		lw.rep.Errorf("typecheck", e.Pos, "cshift of a scalar")
+		return badTV
+	}
+	arr = lw.materializeField(arr, args[0])
+	sh := lw.lowerExpr(args[1])
+	if !sh.scalar() || sh.kind != nir.Integer32 {
+		lw.rep.Errorf("typecheck", e.Pos, "cshift shift must be a scalar integer")
+		return badTV
+	}
+	dim := 1
+	if args[2] != nil {
+		dim, _ = lw.evalConstInt(args[2], "cshift dim")
+	}
+	if dim < 1 || dim > shape.Rank(arr.shape) {
+		lw.rep.Errorf("shapecheck", e.Pos, "cshift dim %d out of range for rank %d", dim, shape.Rank(arr.shape))
+		dim = 1
+	}
+	return lw.commCall("cm_cshift", []nir.Value{arr.v, sh.v, nir.IntConst(int64(dim))}, arr.kind, arr.shape, e)
+}
+
+func lowerEoshift(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "array", "shift", "boundary", "dim")
+	if args[0] == nil || args[1] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "eoshift requires array and shift")
+		return badTV
+	}
+	arr := lw.lowerExpr(args[0])
+	if arr.scalar() {
+		lw.rep.Errorf("typecheck", e.Pos, "eoshift of a scalar")
+		return badTV
+	}
+	arr = lw.materializeField(arr, args[0])
+	sh := lw.lowerExpr(args[1])
+	if !sh.scalar() || sh.kind != nir.Integer32 {
+		lw.rep.Errorf("typecheck", e.Pos, "eoshift shift must be a scalar integer")
+		return badTV
+	}
+	var boundary nir.Value = nir.FloatConst(0)
+	if args[2] != nil {
+		b := lw.lowerExpr(args[2])
+		if !b.scalar() {
+			lw.rep.Errorf("typecheck", e.Pos, "eoshift boundary must be scalar")
+		}
+		boundary = convert(b.v, b.kind, arr.kind)
+	}
+	dim := 1
+	if args[3] != nil {
+		dim, _ = lw.evalConstInt(args[3], "eoshift dim")
+	}
+	if dim < 1 || dim > shape.Rank(arr.shape) {
+		lw.rep.Errorf("shapecheck", e.Pos, "eoshift dim %d out of range for rank %d", dim, shape.Rank(arr.shape))
+		dim = 1
+	}
+	return lw.commCall("cm_eoshift", []nir.Value{arr.v, sh.v, boundary, nir.IntConst(int64(dim))}, arr.kind, arr.shape, e)
+}
+
+func reduction(fn string) intrinsicFn {
+	return func(lw *lowerer, e *ast.Index) tv {
+		args := lw.getArgs(e, "array")
+		if args[0] == nil {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires an array argument", e.Name)
+			return badTV
+		}
+		arr := lw.lowerExpr(args[0])
+		if arr.scalar() {
+			lw.rep.Errorf("typecheck", e.Pos, "%q of a scalar", e.Name)
+			return badTV
+		}
+		arr = lw.materializeField(arr, args[0])
+		return lw.commCall(fn, []nir.Value{arr.v}, arr.kind, nil, e)
+	}
+}
+
+// logicalReduction handles ANY/ALL/COUNT: a logical array reduced to a
+// logical or integer scalar.
+func logicalReduction(fn string, result nir.ScalarKind) intrinsicFn {
+	return func(lw *lowerer, e *ast.Index) tv {
+		args := lw.getArgs(e, "mask")
+		if args[0] == nil {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires a mask argument", e.Name)
+			return badTV
+		}
+		m := lw.lowerExpr(args[0])
+		if m.scalar() || m.kind != nir.Logical32 {
+			lw.rep.Errorf("typecheck", e.Pos, "%q requires a logical array", e.Name)
+			return badTV
+		}
+		m = lw.materializeField(m, args[0])
+		out := lw.commCall(fn, []nir.Value{m.v}, result, nil, e)
+		return out
+	}
+}
+
+func lowerTranspose(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "matrix")
+	if args[0] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "transpose requires a matrix argument")
+		return badTV
+	}
+	m := lw.lowerExpr(args[0])
+	if m.scalar() || shape.Rank(m.shape) != 2 {
+		lw.rep.Errorf("shapecheck", e.Pos, "transpose requires a rank-2 array")
+		return badTV
+	}
+	m = lw.materializeField(m, args[0])
+	ext := shape.Extents(m.shape)
+	out := shape.Of(ext[1], ext[0])
+	return lw.commCall("cm_transpose", []nir.Value{m.v}, m.kind, out, e)
+}
+
+func lowerSpread(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "source", "dim", "ncopies")
+	if args[0] == nil || args[1] == nil || args[2] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "spread requires source, dim, ncopies")
+		return badTV
+	}
+	src := lw.lowerExpr(args[0])
+	dim, _ := lw.evalConstInt(args[1], "spread dim")
+	n, _ := lw.evalConstInt(args[2], "spread ncopies")
+	if n < 1 {
+		lw.rep.Errorf("shapecheck", e.Pos, "spread ncopies must be positive")
+		n = 1
+	}
+	var ext []int
+	if !src.scalar() {
+		src = lw.materializeField(src, args[0])
+		ext = shape.Extents(src.shape)
+	}
+	if dim < 1 || dim > len(ext)+1 {
+		lw.rep.Errorf("shapecheck", e.Pos, "spread dim %d out of range", dim)
+		dim = 1
+	}
+	newExt := make([]int, 0, len(ext)+1)
+	newExt = append(newExt, ext[:dim-1]...)
+	newExt = append(newExt, n)
+	newExt = append(newExt, ext[dim-1:]...)
+	out := shape.Of(newExt...)
+	return lw.commCall("cm_spread", []nir.Value{src.v, nir.IntConst(int64(dim)), nir.IntConst(int64(n))}, src.kind, out, e)
+}
+
+func lowerDotProduct(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "vector_a", "vector_b")
+	if args[0] == nil || args[1] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "dot_product requires two vectors")
+		return badTV
+	}
+	a := lw.lowerExpr(args[0])
+	b := lw.lowerExpr(args[1])
+	if a.scalar() || b.scalar() || shape.Rank(a.shape) != 1 || shape.Rank(b.shape) != 1 {
+		lw.rep.Errorf("shapecheck", e.Pos, "dot_product requires rank-1 arrays")
+		return badTV
+	}
+	lw.unifyShapes(a.shape, b.shape, e.Pos)
+	a = lw.materializeField(a, args[0])
+	b = lw.materializeField(b, args[1])
+	k := promote(a.kind, b.kind)
+	return lw.commCall("cm_dot", []nir.Value{a.v, b.v}, k, nil, e)
+}
+
+func lowerSize(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "array", "dim")
+	if args[0] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "size requires an array argument")
+		return badTV
+	}
+	ident, ok := args[0].(*ast.Ident)
+	if !ok {
+		lw.rep.Errorf("typecheck", e.Pos, "size argument must be an array name")
+		return badTV
+	}
+	sym, ok := lw.syms.Lookup(ident.Name)
+	if !ok || sym.Shape == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "size of non-array %q", ident.Name)
+		return badTV
+	}
+	if args[1] == nil {
+		return tv{v: nir.IntConst(int64(shape.Size(sym.Shape))), kind: nir.Integer32}
+	}
+	dim, _ := lw.evalConstInt(args[1], "size dim")
+	ext := shape.Extents(sym.Shape)
+	if dim < 1 || dim > len(ext) {
+		lw.rep.Errorf("shapecheck", e.Pos, "size dim %d out of range", dim)
+		return badTV
+	}
+	return tv{v: nir.IntConst(int64(ext[dim-1])), kind: nir.Integer32}
+}

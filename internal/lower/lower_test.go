@@ -1,0 +1,444 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"f90y/internal/nir"
+	"f90y/internal/parser"
+	"f90y/internal/shape"
+)
+
+func mustLower(t *testing.T, src string) *Module {
+	t.Helper()
+	prog, err := parser.Parse("test.f90", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v\nsource:\n%s", err, src)
+	}
+	return mod
+}
+
+func lowerErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := parser.Parse("test.f90", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Lower(prog)
+	if err == nil {
+		t.Fatalf("expected lowering error for:\n%s", src)
+	}
+	return err
+}
+
+func wrap(body string) string {
+	return "program t\n" + body + "\nend program t\n"
+}
+
+// firstMoves flattens the module body into its top-level action list.
+func actions(mod *Module) []nir.Imp {
+	switch b := mod.Body.(type) {
+	case nir.Sequentially:
+		return b.List
+	case nir.Skip:
+		return nil
+	default:
+		return []nir.Imp{b}
+	}
+}
+
+func TestPaperFig8Lowering(t *testing.T) {
+	// §2.1/Fig. 8: L = 6; K = 2*K + 5 over shapes alpha (128) and beta
+	// (128x64).
+	mod := mustLower(t, wrap("integer k(128,64), l(128)\nl = 6\nk = 2*k + 5"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	m1 := acts[0].(nir.Move)
+	if !shape.Congruent(m1.Over, shape.Of(128)) {
+		t.Errorf("l move over %v", m1.Over)
+	}
+	m2 := acts[1].(nir.Move)
+	if !shape.Congruent(m2.Over, shape.Of(128, 64)) {
+		t.Errorf("k move over %v", m2.Over)
+	}
+	// RHS of k: BINARY(Plus, BINARY(Mul, 2, k@everywhere), 5).
+	out := nir.PrintValue(m2.Moves[0].Src)
+	want := "BINARY(Plus, BINARY(Mul, SCALAR(integer_32, '2'), AVAR('k', everywhere)), SCALAR(integer_32, '5'))"
+	if out != want {
+		t.Errorf("k rhs:\n got %s\nwant %s", out, want)
+	}
+	// Program wrapper carries the domains.
+	if len(mod.Domains) != 2 {
+		t.Errorf("domains = %v", mod.Domains)
+	}
+	text := nir.Print(mod.Prog)
+	if !strings.Contains(text, "WITH_DOMAIN(('alpha'") || !strings.Contains(text, "WITH_DECL(DECLSET[") {
+		t.Errorf("program wrapper:\n%s", text)
+	}
+}
+
+func TestScalarAssignment(t *testing.T) {
+	mod := mustLower(t, wrap("double precision a, b\na = cos(b)\nb = b + a"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	// Appendix example: MOVE[(True, (UNARY(Cos, SVAR 'b'), SVAR 'a'))].
+	got := nir.PrintValue(acts[0].(nir.Move).Moves[0].Src)
+	if got != "UNARY(Cos, SVAR 'b')" {
+		t.Errorf("got %s", got)
+	}
+	if acts[0].(nir.Move).Over != nil {
+		t.Error("scalar move must have nil shape")
+	}
+}
+
+func TestSectionAssignmentLowering(t *testing.T) {
+	mod := mustLower(t, wrap("integer l(128)\nl(32:64) = l(96:128)"))
+	mv := actions(mod)[0].(nir.Move)
+	if shape.Size(mv.Over) != 33 {
+		t.Fatalf("section move over %v", mv.Over)
+	}
+	src := mv.Moves[0].Src.(nir.AVar)
+	sec, ok := src.Field.(nir.Section)
+	if !ok {
+		t.Fatalf("src field %T", src.Field)
+	}
+	if nir.PrintValue(sec.Subs[0].Lo) != "SCALAR(integer_32, '96')" {
+		t.Errorf("src lo = %s", nir.PrintValue(sec.Subs[0].Lo))
+	}
+}
+
+func TestStrideSectionAndRankReduction(t *testing.T) {
+	mod := mustLower(t, wrap("integer, array(32,32) :: a, b\nb(1:32:2,:) = a(1:32:2,:)"))
+	mv := actions(mod)[0].(nir.Move)
+	ext := shape.Extents(mv.Over)
+	if len(ext) != 2 || ext[0] != 16 || ext[1] != 32 {
+		t.Fatalf("iteration extents %v", ext)
+	}
+
+	// Rank reduction: a(3,1:5) has rank 1.
+	mod2 := mustLower(t, wrap("integer, array(8,8) :: a\ninteger c(5)\nc = a(3,1:5)"))
+	mv2 := actions(mod2)[0].(nir.Move)
+	if shape.Rank(mv2.Over) != 1 || shape.Size(mv2.Over) != 5 {
+		t.Fatalf("rank-reduced over %v", mv2.Over)
+	}
+}
+
+func TestShapecheckRejectsMismatched(t *testing.T) {
+	err := lowerErr(t, wrap("integer a(8), b(9)\na = b"))
+	if !strings.Contains(err.Error(), "shape") {
+		t.Errorf("error = %v", err)
+	}
+	lowerErr(t, wrap("integer, array(8,8) :: a\ninteger b(8)\na = a + b"))
+	lowerErr(t, wrap("integer a(8)\ninteger s\ns = a")) // array to scalar
+}
+
+func TestShapecheckAcceptsBroadcast(t *testing.T) {
+	mustLower(t, wrap("integer a(8)\ninteger s\na = s\na = a + s\na = 2*a"))
+}
+
+func TestTypecheckErrors(t *testing.T) {
+	lowerErr(t, wrap("integer a\na = undeclared_var"))
+	lowerErr(t, wrap("logical p\ninteger a\na = p + 1"))
+	lowerErr(t, wrap("logical p\ninteger a\np = .not. a"))
+	lowerErr(t, wrap("integer, parameter :: n = 4\nn = 5"))
+	lowerErr(t, wrap("integer a(8)\na(1,2) = 0"))   // wrong rank
+	lowerErr(t, wrap("real x\nx(1:2) = 0"))         // subscripting a scalar
+	lowerErr(t, wrap("integer a(8)\na = a(1:4)*2")) // congruence
+}
+
+func TestKindPromotion(t *testing.T) {
+	mod := mustLower(t, wrap("real x(8)\ninteger k(8)\nx = k + 1.5"))
+	mv := actions(mod)[0].(nir.Move)
+	s := nir.PrintValue(mv.Moves[0].Src)
+	// k is converted to float_32 to meet the literal 1.5.
+	if !strings.Contains(s, "ToF32") {
+		t.Errorf("missing conversion: %s", s)
+	}
+}
+
+func TestDoubleLiteralKind(t *testing.T) {
+	mod := mustLower(t, wrap("double precision x\nx = 2.5d0"))
+	mv := actions(mod)[0].(nir.Move)
+	c := mv.Moves[0].Src.(nir.Const)
+	if c.Type.Kind != nir.Float64 || c.F != 2.5 {
+		t.Errorf("const %v", c)
+	}
+}
+
+func TestParameterInlining(t *testing.T) {
+	mod := mustLower(t, wrap("integer, parameter :: n = 8\ninteger a(n)\na = n"))
+	mv := actions(mod)[0].(nir.Move)
+	if shape.Size(mv.Over) != 8 {
+		t.Errorf("param-dimensioned shape %v", mv.Over)
+	}
+	if c, ok := mv.Moves[0].Src.(nir.Const); !ok || c.I != 8 {
+		t.Errorf("param not inlined: %s", nir.PrintValue(mv.Moves[0].Src))
+	}
+}
+
+func TestStaticDoBecomesSerialShape(t *testing.T) {
+	mod := mustLower(t, wrap("integer a(64)\ninteger i\ndo i = 1, 64\n  a(i) = i\nend do"))
+	d := actions(mod)[0].(nir.Do)
+	iv, ok := d.S.(shape.Interval)
+	if !ok || !iv.Serial || iv.Lo != 1 || iv.Hi != 64 {
+		t.Fatalf("do shape %v", d.S)
+	}
+	mv := d.Body.(nir.Move)
+	sub := mv.Moves[0].Tgt.(nir.AVar).Field.(nir.Subscript)
+	if _, ok := sub.Subs[0].(nir.LocalUnder); !ok {
+		t.Errorf("index not local_under: %s", nir.PrintValue(sub.Subs[0]))
+	}
+	if _, ok := mv.Moves[0].Src.(nir.LocalUnder); !ok {
+		t.Errorf("src not local_under: %s", nir.PrintValue(mv.Moves[0].Src))
+	}
+}
+
+func TestStaticDoWithStep(t *testing.T) {
+	mod := mustLower(t, wrap("integer a(64)\ninteger i\ndo i = 1, 64, 2\n  a(i) = 0\nend do"))
+	d := actions(mod)[0].(nir.Do)
+	if shape.Size(d.S) != 32 {
+		t.Fatalf("trip count %v", shape.Size(d.S))
+	}
+}
+
+func TestEmptyStaticDoDropped(t *testing.T) {
+	// A zero-trip loop leaves only the Fortran-mandated index assignment
+	// (i = initial value).
+	mod := mustLower(t, wrap("integer i\ninteger a(4)\ndo i = 5, 4\n  a(1) = 1\nend do"))
+	acts := actions(mod)
+	if len(acts) != 1 {
+		t.Fatalf("zero-trip loop should lower to the index store only: %v", acts)
+	}
+	mv, ok := acts[0].(nir.Move)
+	if !ok || mv.Over != nil {
+		t.Fatalf("expected scalar index store, got %#v", acts[0])
+	}
+	if c, ok := mv.Moves[0].Src.(nir.Const); !ok || c.I != 5 {
+		t.Fatalf("index store = %s", nir.PrintValue(mv.Moves[0].Src))
+	}
+}
+
+func TestDynamicDoBecomesWhile(t *testing.T) {
+	mod := mustLower(t, wrap("integer i, n\ninteger a(64)\nn = 10\ndo i = 1, n\n  a(1) = i\nend do"))
+	var found bool
+	nir.WalkImps(mod.Body, func(x nir.Imp) {
+		if _, ok := x.(nir.While); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("dynamic DO should lower to WHILE")
+	}
+}
+
+func TestNestedStaticDoPaperExample(t *testing.T) {
+	// §2.1 Fortran 77 nest.
+	src := `
+program old
+integer k(128,64), l(128)
+integer i, j
+do 10 i=1,128
+   l(i) = 6
+   do 20 j=1,64
+      k(i,j) = 2*k(i,j) + 5
+20 continue
+10 continue
+end program old
+`
+	mod := mustLower(t, src)
+	outer := actions(mod)[0].(nir.Do)
+	seq := outer.Body.(nir.Sequentially)
+	// l(i) assignment, inner DO, and the inner index's final store.
+	if len(seq.List) != 3 {
+		t.Fatalf("outer body = %d", len(seq.List))
+	}
+	if _, ok := seq.List[1].(nir.Do); !ok {
+		t.Fatalf("inner loop %T", seq.List[1])
+	}
+}
+
+func TestWhereLowering(t *testing.T) {
+	mod := mustLower(t, wrap("real a(16), b(16)\nwhere (a > 0)\n  b = a\nelsewhere\n  b = -a\nend where"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	m1 := acts[0].(nir.Move)
+	if nir.EqualValue(m1.Moves[0].Mask, nir.True) {
+		t.Error("where body should be masked")
+	}
+	m2 := acts[1].(nir.Move)
+	if _, ok := m2.Moves[0].Mask.(nir.Unary); !ok {
+		t.Errorf("elsewhere mask = %s", nir.PrintValue(m2.Moves[0].Mask))
+	}
+}
+
+func TestWhereMaskMaterializedOnConflict(t *testing.T) {
+	// Body writes a, which the mask reads: mask must be hoisted.
+	mod := mustLower(t, wrap("real a(16)\nwhere (a > 0)\n  a = -a\nend where"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("expected mask materialization + move, got %d actions", len(acts))
+	}
+	first := acts[0].(nir.Move)
+	tgt := first.Moves[0].Tgt.(nir.AVar)
+	sym, _ := mod.Syms.Lookup(tgt.Name)
+	if sym == nil || !sym.Temp || sym.Kind != nir.Logical32 {
+		t.Fatalf("first action should compute the mask temp, tgt=%s", tgt.Name)
+	}
+}
+
+func TestForallIdentityCollapse(t *testing.T) {
+	// Fig. 7: FORALL (i=1:32, j=1:32) A(i,j) = i+j lowers to one parallel
+	// MOVE with an everywhere target and local_under sources.
+	mod := mustLower(t, wrap("integer, array(32,32) :: a\nforall (i=1:32, j=1:32) a(i,j) = i+j"))
+	mv := actions(mod)[0].(nir.Move)
+	if shape.Size(mv.Over) != 1024 {
+		t.Fatalf("over %v", mv.Over)
+	}
+	if _, ok := mv.Moves[0].Tgt.(nir.AVar).Field.(nir.Everywhere); !ok {
+		t.Errorf("target not collapsed: %s", nir.PrintValue(mv.Moves[0].Tgt))
+	}
+	s := nir.PrintValue(mv.Moves[0].Src)
+	if !strings.Contains(s, "local_under") {
+		t.Errorf("src = %s", s)
+	}
+}
+
+func TestForallNonIdentityKeepsSubscript(t *testing.T) {
+	mod := mustLower(t, wrap("integer, array(8,8) :: a, b\nforall (i=1:8, j=1:8) a(i,j) = b(j,i)"))
+	mv := actions(mod)[0].(nir.Move)
+	src := mv.Moves[0].Src.(nir.AVar)
+	if _, ok := src.Field.(nir.Subscript); !ok {
+		t.Errorf("transposed ref must keep subscript: %s", nir.PrintValue(src))
+	}
+	if _, ok := mv.Moves[0].Tgt.(nir.AVar).Field.(nir.Everywhere); !ok {
+		t.Errorf("identity target should collapse")
+	}
+}
+
+func TestCshiftLoweringMatchesFig12(t *testing.T) {
+	mod := mustLower(t, wrap("real, array(64,64) :: v, z\nz = cshift(v, dim=1, shift=-1)"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	comm := acts[0].(nir.Move)
+	fc := comm.Moves[0].Src.(nir.FcnCall)
+	if fc.Name != "cm_cshift" || len(fc.Args) != 3 {
+		t.Fatalf("comm call %s", nir.PrintValue(fc))
+	}
+	tmp := comm.Moves[0].Tgt.(nir.AVar)
+	if !strings.HasPrefix(tmp.Name, "tmp") {
+		t.Errorf("comm target %q", tmp.Name)
+	}
+	// Main move reads the temp.
+	main := acts[1].(nir.Move)
+	if src, ok := main.Moves[0].Src.(nir.AVar); !ok || src.Name != tmp.Name {
+		t.Errorf("main src = %s", nir.PrintValue(main.Moves[0].Src))
+	}
+}
+
+func TestReductionLowering(t *testing.T) {
+	mod := mustLower(t, wrap("real a(64)\nreal s\ns = sum(a)"))
+	acts := actions(mod)
+	red := acts[0].(nir.Move)
+	fc := red.Moves[0].Src.(nir.FcnCall)
+	if fc.Name != "cm_reduce_sum" {
+		t.Fatalf("reduction call %s", fc.Name)
+	}
+	if _, ok := red.Moves[0].Tgt.(nir.SVar); !ok {
+		t.Errorf("reduction target should be scalar temp")
+	}
+}
+
+func TestMergeLowering(t *testing.T) {
+	mod := mustLower(t, wrap("real a(8), b(8), c(8)\nc = merge(a, b, a > b)"))
+	acts := actions(mod)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	sel := acts[0].(nir.Move)
+	if len(sel.Moves) != 2 {
+		t.Fatalf("merge moves = %d", len(sel.Moves))
+	}
+	if _, ok := sel.Moves[1].Mask.(nir.Unary); !ok {
+		t.Errorf("complementary mask missing")
+	}
+}
+
+func TestTransposeShape(t *testing.T) {
+	mod := mustLower(t, wrap("real, array(4,8) :: a\nreal, array(8,4) :: b\nb = transpose(a)"))
+	comm := actions(mod)[0].(nir.Move)
+	ext := shape.Extents(comm.Over)
+	if ext[0] != 8 || ext[1] != 4 {
+		t.Fatalf("transpose result shape %v", ext)
+	}
+}
+
+func TestSizeConstant(t *testing.T) {
+	mod := mustLower(t, wrap("real, array(4,8) :: a\ninteger n\nn = size(a) + size(a, 2)"))
+	mv := actions(mod)[0].(nir.Move)
+	s := nir.PrintValue(mv.Moves[0].Src)
+	if !strings.Contains(s, "'32'") || !strings.Contains(s, "'8'") {
+		t.Errorf("size not folded: %s", s)
+	}
+}
+
+func TestPrintAndStop(t *testing.T) {
+	mod := mustLower(t, wrap("real x\nx = 1\nprint *, 'x =', x\nstop"))
+	acts := actions(mod)
+	call := acts[1].(nir.CallImp)
+	if call.Name != "rt_print" || len(call.Args) != 2 {
+		t.Fatalf("print call %#v", call)
+	}
+	if _, ok := call.Args[0].(nir.StrConst); !ok {
+		t.Errorf("first arg should be string")
+	}
+	if stop := acts[2].(nir.CallImp); stop.Name != "rt_stop" {
+		t.Errorf("stop = %#v", acts[2])
+	}
+}
+
+func TestCallRejected(t *testing.T) {
+	lowerErr(t, wrap("real x\ncall foo(x)"))
+}
+
+func TestIfLowering(t *testing.T) {
+	mod := mustLower(t, wrap("integer i\nreal x\nif (i > 0) then\n  x = 1\nelse\n  x = 2\nend if"))
+	ite := actions(mod)[0].(nir.IfThenElse)
+	if _, ok := ite.Cond.(nir.Binary); !ok {
+		t.Errorf("cond %T", ite.Cond)
+	}
+	lowerErr(t, wrap("real a(8)\nreal x\nif (a > 0) then\n  x = 1\nend if"))
+}
+
+func TestExplicitLowerBoundSection(t *testing.T) {
+	mod := mustLower(t, wrap("real, dimension(0:63) :: a\na(0:31) = 1.0"))
+	mv := actions(mod)[0].(nir.Move)
+	if shape.Size(mv.Over) != 32 {
+		t.Fatalf("over %v", mv.Over)
+	}
+}
+
+func TestTempNaming(t *testing.T) {
+	// Paper Fig. 12 names communication temporaries tmp0, tmp1, ...
+	mod := mustLower(t, wrap("real, array(8,8) :: u, v, z\nz = (v - cshift(v, dim=1, shift=-1)) + (u - cshift(u, dim=2, shift=-1))"))
+	var names []string
+	for _, sym := range mod.Syms.All() {
+		if sym.Temp {
+			names = append(names, sym.Name)
+		}
+	}
+	if len(names) != 2 || names[0] != "tmp0" || names[1] != "tmp1" {
+		t.Fatalf("temps = %v", names)
+	}
+}

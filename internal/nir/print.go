@@ -1,0 +1,209 @@
+package nir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders an imperative action in the paper's NIR notation
+// (cf. Figs. 8–10), indented for readability.
+func Print(i Imp) string {
+	var b strings.Builder
+	printImp(&b, i, 0)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func ind(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+}
+
+func printImp(b *strings.Builder, i Imp, depth int) {
+	switch i := i.(type) {
+	case nil:
+		ind(b, depth)
+		b.WriteString("SKIP")
+	case Program:
+		ind(b, depth)
+		b.WriteString("PROGRAM(\n")
+		printImp(b, i.Body, depth+1)
+		b.WriteString(")")
+	case Skip:
+		ind(b, depth)
+		b.WriteString("SKIP")
+	case Sequentially:
+		ind(b, depth)
+		b.WriteString("SEQUENTIALLY\n")
+		ind(b, depth)
+		b.WriteString("[\n")
+		for k, a := range i.List {
+			printImp(b, a, depth+1)
+			if k < len(i.List)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		ind(b, depth)
+		b.WriteString("]")
+	case Concurrently:
+		ind(b, depth)
+		b.WriteString("CONCURRENTLY\n")
+		ind(b, depth)
+		b.WriteString("[\n")
+		for k, a := range i.List {
+			printImp(b, a, depth+1)
+			if k < len(i.List)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		ind(b, depth)
+		b.WriteString("]")
+	case Move:
+		ind(b, depth)
+		if i.Over != nil {
+			fmt.Fprintf(b, "MOVE<%s>[", i.Over)
+		} else {
+			b.WriteString("MOVE[")
+		}
+		for k, m := range i.Moves {
+			if k > 0 {
+				b.WriteString(",\n")
+				ind(b, depth+1)
+			}
+			fmt.Fprintf(b, "(%s, (%s, %s))", PrintValue(m.Mask), PrintValue(m.Src), PrintValue(m.Tgt))
+		}
+		b.WriteString("]")
+	case IfThenElse:
+		ind(b, depth)
+		fmt.Fprintf(b, "IFTHENELSE(%s,\n", PrintValue(i.Cond))
+		printImp(b, i.Then, depth+1)
+		b.WriteString(",\n")
+		printImp(b, i.Else, depth+1)
+		b.WriteString(")")
+	case While:
+		ind(b, depth)
+		fmt.Fprintf(b, "WHILE(%s,\n", PrintValue(i.Cond))
+		printImp(b, i.Body, depth+1)
+		b.WriteString(")")
+	case Do:
+		ind(b, depth)
+		fmt.Fprintf(b, "DO(%s,\n", i.S)
+		printImp(b, i.Body, depth+1)
+		b.WriteString(")")
+	case WithDecl:
+		ind(b, depth)
+		fmt.Fprintf(b, "WITH_DECL(%s,\n", printDecl(i.Decl))
+		printImp(b, i.Body, depth+1)
+		b.WriteString(")")
+	case WithDomain:
+		ind(b, depth)
+		fmt.Fprintf(b, "WITH_DOMAIN(('%s', %s),\n", i.Name, i.Shape)
+		printImp(b, i.Body, depth+1)
+		b.WriteString(")")
+	case CallImp:
+		ind(b, depth)
+		fmt.Fprintf(b, "CALL('%s'", i.Name)
+		for _, a := range i.Args {
+			b.WriteString(", " + PrintValue(a))
+		}
+		b.WriteString(")")
+	default:
+		ind(b, depth)
+		fmt.Fprintf(b, "<unknown imp %T>", i)
+	}
+}
+
+func printDecl(d Decl) string {
+	switch d := d.(type) {
+	case DeclVar:
+		return fmt.Sprintf("DECL('%s', %s)", d.Name, d.Type)
+	case Initialized:
+		return fmt.Sprintf("INITIALIZED('%s', %s, %s)", d.Name, d.Type, PrintValue(d.Init))
+	case DeclSet:
+		parts := make([]string, len(d.List))
+		for i, x := range d.List {
+			parts[i] = printDecl(x)
+		}
+		return "DECLSET[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("<unknown decl %T>", d)
+}
+
+// PrintValue renders a value in the paper's notation.
+func PrintValue(v Value) string {
+	switch v := v.(type) {
+	case nil:
+		return "<nil>"
+	case Binary:
+		return fmt.Sprintf("BINARY(%s, %s, %s)", v.Op, PrintValue(v.L), PrintValue(v.R))
+	case Unary:
+		return fmt.Sprintf("UNARY(%s, %s)", v.Op, PrintValue(v.X))
+	case SVar:
+		return fmt.Sprintf("SVAR '%s'", v.Name)
+	case Const:
+		return fmt.Sprintf("SCALAR(%s, '%s')", v.Type, constRep(v))
+	case FcnCall:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = PrintValue(a)
+		}
+		return fmt.Sprintf("FCNCALL('%s', [%s])", v.Name, strings.Join(args, ", "))
+	case AVar:
+		return fmt.Sprintf("AVAR('%s', %s)", v.Name, printField(v.Field))
+	case StrConst:
+		return fmt.Sprintf("'%s'", v.S)
+	case LocalUnder:
+		return fmt.Sprintf("local_under(%s, %d)", v.S, v.Dim)
+	}
+	return fmt.Sprintf("<unknown value %T>", v)
+}
+
+func constRep(c Const) string {
+	switch c.Type.Kind {
+	case Integer32:
+		return strconv.FormatInt(c.I, 10)
+	case Logical32:
+		if c.B {
+			return "True"
+		}
+		return "False"
+	default:
+		return strconv.FormatFloat(c.F, 'g', -1, 64)
+	}
+}
+
+func printField(f Field) string {
+	switch f := f.(type) {
+	case Everywhere:
+		return "everywhere"
+	case Subscript:
+		parts := make([]string, len(f.Subs))
+		for i, s := range f.Subs {
+			parts[i] = PrintValue(s)
+		}
+		return "subscript[" + strings.Join(parts, ", ") + "]"
+	case Section:
+		parts := make([]string, len(f.Subs))
+		for i, t := range f.Subs {
+			parts[i] = printTriplet(t)
+		}
+		return "section[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("<unknown field %T>", f)
+}
+
+func printTriplet(t Triplet) string {
+	if t.Full {
+		return ":"
+	}
+	if t.Scalar {
+		return PrintValue(t.Lo)
+	}
+	s := PrintValue(t.Lo) + ":" + PrintValue(t.Hi)
+	if t.Step != nil {
+		s += ":" + PrintValue(t.Step)
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+// Package opt implements the NIR optimization stage of the Fortran-90-Y
+// compiler (§4.2): source-to-source transformations over NIR whose object
+// is to produce programs in which computations over like shapes are
+// blocked as much as possible, forming computation phases punctuated by
+// communication.
+//
+// Three passes are provided:
+//
+//   - classification of each action into computation, communication, or
+//     host (front-end) phases;
+//   - mask padding (Fig. 10): aligned array-section assignments become
+//     full-shape masked moves, enlarging the pool of sibling computations;
+//   - domain blocking (Fig. 9): like-shape pointwise moves are reordered
+//     past independent actions and fused into single computation blocks,
+//     amortizing PEAC call overhead and widening register-allocation scope.
+package opt
+
+import (
+	"strings"
+
+	"f90y/internal/lower"
+	"f90y/internal/nir"
+	"f90y/internal/shape"
+)
+
+// Class partitions actions by where they execute (§5.1).
+type Class int
+
+// Phase classes.
+const (
+	// Compute actions are grid-local pointwise moves over a parallel
+	// shape: they compile to PEAC node procedures.
+	Compute Class = iota
+	// Comm actions move data between shapes or alignments: they become
+	// CM runtime library calls issued from the host.
+	Comm
+	// Host actions are serial control flow, scalar code, and I/O: they
+	// compile to front-end (SPARC) code.
+	Host
+)
+
+func (c Class) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	default:
+		return "host"
+	}
+}
+
+// Classifier answers phase-classification queries against a module's
+// symbol table.
+type Classifier struct {
+	Syms *lower.SymTab
+}
+
+// Classify assigns an action to its phase class.
+func (c *Classifier) Classify(a nir.Imp) Class {
+	switch a := a.(type) {
+	case nir.Move:
+		return c.classifyMove(a)
+	default:
+		return Host
+	}
+}
+
+func (c *Classifier) classifyMove(m nir.Move) Class {
+	// Runtime intrinsic calls (cm_cshift, cm_reduce_sum, ...) are
+	// communication regardless of shape.
+	comm := false
+	for _, g := range m.Moves {
+		nir.WalkValues(g.Src, func(v nir.Value) {
+			if fc, ok := v.(nir.FcnCall); ok && strings.HasPrefix(fc.Name, "cm_") {
+				comm = true
+			}
+		})
+	}
+	if comm {
+		return Comm
+	}
+	if m.Over == nil || shape.Serial(m.Over) {
+		return Host
+	}
+
+	// A parallel move is grid-local (Compute) when every array reference
+	// is pointwise under the common shape: everywhere references to
+	// congruent arrays, or identically-aligned sections of a single
+	// declared shape.
+	type secsig struct {
+		name string
+		sec  nir.Section
+	}
+	var firstSec *secsig
+	local := true
+	sawSection := false
+
+	checkAVar := func(av nir.AVar) {
+		sym, ok := c.Syms.Lookup(av.Name)
+		if !ok || sym.Shape == nil {
+			local = false
+			return
+		}
+		switch f := av.Field.(type) {
+		case nir.Everywhere:
+			if !shape.Congruent(sym.Shape, m.Over) {
+				local = false
+			}
+		case nir.Section:
+			sawSection = true
+			for _, t := range f.Subs {
+				if t.Scalar {
+					local = false // rank reduction: alignment broken
+				}
+			}
+			if firstSec == nil {
+				firstSec = &secsig{name: av.Name, sec: f}
+				// The sectioned arrays must all share a declared shape.
+				return
+			}
+			prev, _ := c.Syms.Lookup(firstSec.name)
+			if !shape.Congruent(prev.Shape, sym.Shape) || !sameSection(firstSec.sec, f) {
+				local = false
+			}
+		case nir.Subscript:
+			local = false // gather/scatter: general communication
+		}
+	}
+
+	for _, g := range m.Moves {
+		for _, v := range []nir.Value{g.Mask, g.Src, g.Tgt} {
+			nir.WalkValues(v, func(x nir.Value) {
+				if av, ok := x.(nir.AVar); ok {
+					checkAVar(av)
+				}
+			})
+		}
+	}
+	if !local {
+		return Comm
+	}
+	if sawSection {
+		// Aligned sections mixed with everywhere refs over the (smaller)
+		// section space are misaligned with the full arrays; only
+		// all-section moves stay local. Detect everywhere refs: they are
+		// congruent with m.Over (the section space), but the sections
+		// live on the full shape — localness requires no such mixing
+		// unless the section space equals the full shape.
+		full := c.sectionFullShape(m)
+		if full == nil {
+			return Comm
+		}
+		mixed := false
+		for _, g := range m.Moves {
+			for _, v := range []nir.Value{g.Mask, g.Src, g.Tgt} {
+				nir.WalkValues(v, func(x nir.Value) {
+					av, ok := x.(nir.AVar)
+					if !ok {
+						return
+					}
+					if _, ew := av.Field.(nir.Everywhere); ew {
+						sym, _ := c.Syms.Lookup(av.Name)
+						if sym != nil && sym.Shape != nil && !shape.Congruent(sym.Shape, full) {
+							mixed = true
+						}
+					}
+				})
+			}
+		}
+		if mixed {
+			return Comm
+		}
+	}
+	return Compute
+}
+
+// sectionFullShape returns the declared shape shared by all sectioned
+// arrays of a move, or nil if there is none or they disagree.
+func (c *Classifier) sectionFullShape(m nir.Move) shape.Shape {
+	var full shape.Shape
+	ok := true
+	for _, g := range m.Moves {
+		for _, v := range []nir.Value{g.Mask, g.Src, g.Tgt} {
+			nir.WalkValues(v, func(x nir.Value) {
+				av, isAV := x.(nir.AVar)
+				if !isAV {
+					return
+				}
+				if _, isSec := av.Field.(nir.Section); !isSec {
+					return
+				}
+				sym, found := c.Syms.Lookup(av.Name)
+				if !found || sym.Shape == nil {
+					ok = false
+					return
+				}
+				if full == nil {
+					full = sym.Shape
+				} else if !shape.Congruent(full, sym.Shape) {
+					ok = false
+				}
+			})
+		}
+	}
+	if !ok {
+		return nil
+	}
+	return full
+}
+
+func sameSection(a, b nir.Section) bool {
+	if len(a.Subs) != len(b.Subs) {
+		return false
+	}
+	for i := range a.Subs {
+		ta, tb := a.Subs[i], b.Subs[i]
+		if ta.Full != tb.Full || ta.Scalar != tb.Scalar {
+			return false
+		}
+		if ta.Full {
+			continue
+		}
+		if !nir.EqualValue(ta.Lo, tb.Lo) || !nir.EqualValue(ta.Hi, tb.Hi) {
+			return false
+		}
+		sa, sb := ta.Step, tb.Step
+		if (sa == nil) != (sb == nil) {
+			return false
+		}
+		if sa != nil && !nir.EqualValue(sa, sb) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,431 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"f90y/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.f90", src)
+	if err != nil {
+		t.Fatalf("parse error:\n%v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func wrap(body string) string {
+	return "program t\n" + body + "\nend program t\n"
+}
+
+func TestPaperFortran77Example(t *testing.T) {
+	// The §2.1 Fortran 77 loop nest, verbatim from the paper.
+	src := `
+      PROGRAM OLD
+      INTEGER K(128,64), L(128)
+      DO 10 I=1,128
+         L(I) = 6
+         DO 20 J=1,64
+            K(I,J) = 2*K(I,J) + 5
+20       CONTINUE
+10    CONTINUE
+      END PROGRAM OLD
+`
+	prog := parse(t, src)
+	if prog.Name != "old" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	k := prog.Decls[0]
+	if k.Name != "k" || len(k.Dims) != 2 {
+		t.Fatalf("bad decl %+v", k)
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("body = %d stmts", len(prog.Body))
+	}
+	outer, ok := prog.Body[0].(*ast.DoLoop)
+	if !ok {
+		t.Fatalf("expected DoLoop, got %T", prog.Body[0])
+	}
+	if outer.Var != "i" {
+		t.Errorf("outer var %q", outer.Var)
+	}
+	// Body: assignment, inner loop (with CONTINUE inside), CONTINUE.
+	if len(outer.Body) != 3 {
+		t.Fatalf("outer body = %d stmts: %#v", len(outer.Body), outer.Body)
+	}
+	inner, ok := outer.Body[1].(*ast.DoLoop)
+	if !ok || inner.Var != "j" {
+		t.Fatalf("inner loop: %#v", outer.Body[1])
+	}
+}
+
+func TestPaperFortran90Assignments(t *testing.T) {
+	// §2.1: "L = 6" and "K = 2*K + 5".
+	prog := parse(t, wrap("integer k(128,64), l(128)\nl = 6\nk = 2*k + 5"))
+	if len(prog.Body) != 2 {
+		t.Fatalf("body = %d", len(prog.Body))
+	}
+	a2 := prog.Body[1].(*ast.Assign)
+	bin, ok := a2.RHS.(*ast.Binary)
+	if !ok || bin.Op != ast.Add {
+		t.Fatalf("rhs = %#v", a2.RHS)
+	}
+}
+
+func TestPaperSectionAssignments(t *testing.T) {
+	// §2.1: "L(32:64) = L(96:128)" and "K(32:64,:) = K(32:64,:)**2".
+	prog := parse(t, wrap("integer k(128,64), l(128)\nl(32:64) = l(96:128)\nk(32:64,:) = k(32:64,:)**2"))
+	a := prog.Body[0].(*ast.Assign)
+	ix := a.LHS.(*ast.Index)
+	if ix.Name != "l" || len(ix.Subs) != 1 || ix.Subs[0].Single {
+		t.Fatalf("lhs = %#v", ix)
+	}
+	b := prog.Body[1].(*ast.Assign)
+	kx := b.LHS.(*ast.Index)
+	if len(kx.Subs) != 2 || kx.Subs[1].Lo != nil || kx.Subs[1].Single {
+		t.Fatalf("k section = %#v", kx.Subs)
+	}
+	if pow, ok := b.RHS.(*ast.Binary); !ok || pow.Op != ast.Pow {
+		t.Fatalf("rhs = %#v", b.RHS)
+	}
+}
+
+func TestPaperFig10Fragment(t *testing.T) {
+	// Fig. 10 source fragment with stride-2 sections.
+	src := wrap(`integer, array(32,32) :: a, b
+integer, array(32) :: c
+integer :: n
+a = n
+b(1:32:2,:) = a(1:32:2,:)
+c = n + 1
+b(2:32:2,:) = 5*a(2:32:2,:)`)
+	prog := parse(t, src)
+	if len(prog.Body) != 4 {
+		t.Fatalf("body = %d", len(prog.Body))
+	}
+	b1 := prog.Body[1].(*ast.Assign).LHS.(*ast.Index)
+	if b1.Subs[0].Single || b1.Subs[0].Step == nil {
+		t.Fatalf("stride section = %#v", b1.Subs[0])
+	}
+}
+
+func TestPaperFig7Forall(t *testing.T) {
+	// Fig. 7: FORALL (i=1:32, j=1:32) A(i,j) = i+j.
+	src := wrap("integer, array(32,32) :: a\nforall (i=1:32, j=1:32) a(i,j) = i+j")
+	prog := parse(t, src)
+	f := prog.Body[0].(*ast.Forall)
+	if len(f.Indexes) != 2 || f.Indexes[0].Var != "i" || f.Indexes[1].Var != "j" {
+		t.Fatalf("indexes = %#v", f.Indexes)
+	}
+	if f.Mask != nil || f.Assign == nil {
+		t.Fatalf("forall = %#v", f)
+	}
+}
+
+func TestForallWithMask(t *testing.T) {
+	src := wrap("integer, array(8,8) :: a\nforall (i=1:8, j=1:8, i /= j) a(i,j) = 0")
+	f := parse(t, src).Body[0].(*ast.Forall)
+	if f.Mask == nil {
+		t.Fatal("mask missing")
+	}
+}
+
+func TestWhereBlock(t *testing.T) {
+	src := wrap(`real, array(16) :: a, b
+where (a > 0)
+  b = a
+elsewhere
+  b = -a
+end where`)
+	w := parse(t, src).Body[0].(*ast.Where)
+	if len(w.Body) != 1 || len(w.ElseBody) != 1 {
+		t.Fatalf("where = %#v", w)
+	}
+}
+
+func TestWhereSingleStatement(t *testing.T) {
+	src := wrap("real, array(16) :: a, b\nwhere (a > 0) b = a")
+	w := parse(t, src).Body[0].(*ast.Where)
+	if len(w.Body) != 1 || w.ElseBody != nil {
+		t.Fatalf("where = %#v", w)
+	}
+}
+
+func TestCshiftKeywordArgs(t *testing.T) {
+	// Fig. 12: CSHIFT(v, DIM=1, SHIFT=-1).
+	src := wrap("real, array(64,64) :: v, z\nz = cshift(v, dim=1, shift=-1)")
+	a := parse(t, src).Body[0].(*ast.Assign)
+	ix := a.RHS.(*ast.Index)
+	if ix.Name != "cshift" || len(ix.Subs) != 3 {
+		t.Fatalf("cshift = %#v", ix)
+	}
+	if ix.Keys[0] != "" || ix.Keys[1] != "dim" || ix.Keys[2] != "shift" {
+		t.Fatalf("keys = %#v", ix.Keys)
+	}
+	sh := ix.Subs[2].Lo.(*ast.Unary)
+	if sh.Op != ast.Neg {
+		t.Fatalf("shift = %#v", ix.Subs[2].Lo)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := wrap(`integer :: i, r
+if (i > 10) then
+  r = 1
+else if (i > 5) then
+  r = 2
+else if (i > 1) then
+  r = 3
+else
+  r = 4
+end if`)
+	top := parse(t, src).Body[0].(*ast.If)
+	mid := top.Else[0].(*ast.If)
+	inner := mid.Else[0].(*ast.If)
+	if len(inner.Else) != 1 {
+		t.Fatalf("else-if chain malformed: %#v", inner)
+	}
+}
+
+func TestLogicalIf(t *testing.T) {
+	src := wrap("integer :: i\nif (i > 0) i = i - 1")
+	ifs := parse(t, src).Body[0].(*ast.If)
+	if len(ifs.Then) != 1 || ifs.Else != nil {
+		t.Fatalf("logical if = %#v", ifs)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := wrap("integer :: i\ni = 0\ndo while (i < 10)\n  i = i + 1\nend do")
+	loop := parse(t, src).Body[1].(*ast.DoWhile)
+	if len(loop.Body) != 1 {
+		t.Fatalf("do while = %#v", loop)
+	}
+}
+
+func TestDoWithStep(t *testing.T) {
+	src := wrap("integer :: i, s\ndo i = 1, 32, 2\n  s = s + i\nend do")
+	loop := parse(t, src).Body[0].(*ast.DoLoop)
+	if loop.Step == nil {
+		t.Fatal("step missing")
+	}
+}
+
+func TestParameterDecl(t *testing.T) {
+	src := "program t\ninteger, parameter :: n = 64\nreal, parameter :: g = 9.8\nreal :: x\nx = g\nend program t"
+	prog := parse(t, src)
+	if !prog.Decls[0].Param || prog.Decls[0].Init == nil {
+		t.Fatalf("param decl = %#v", prog.Decls[0])
+	}
+}
+
+func TestDoublePrecisionDecl(t *testing.T) {
+	src := "program t\ndouble precision m, n\nm = n\nend program t"
+	prog := parse(t, src)
+	if prog.Decls[0].Kind != ast.Double || prog.Decls[1].Kind != ast.Double {
+		t.Fatalf("decls = %#v", prog.Decls)
+	}
+}
+
+func TestArrayAttrSyntax(t *testing.T) {
+	// Old CM Fortran "array" attribute spelling used throughout the paper.
+	src := "program t\ninteger, array(64,64) :: a, b\ninteger, dimension(64) :: c\na = b\nend program t"
+	prog := parse(t, src)
+	if len(prog.Decls) != 3 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	if len(prog.Decls[0].Dims) != 2 || len(prog.Decls[2].Dims) != 1 {
+		t.Fatalf("dims wrong: %#v", prog.Decls)
+	}
+}
+
+func TestExplicitBounds(t *testing.T) {
+	src := "program t\nreal, dimension(0:63) :: a\na = 0\nend program t"
+	d := parse(t, src).Decls[0]
+	if d.Dims[0].Lo == nil {
+		t.Fatal("explicit lower bound lost")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// -a*b parses as -(a*b); a+b*c as a+(b*c); a**b**c as a**(b**c).
+	src := wrap("real :: a, b, c, r\nr = -a*b\nr = a + b*c\nr = a**b**c\nr = a - b - c")
+	prog := parse(t, src)
+	neg := prog.Body[0].(*ast.Assign).RHS.(*ast.Unary)
+	if _, ok := neg.X.(*ast.Binary); !ok {
+		t.Fatalf("-a*b: %#v", neg)
+	}
+	add := prog.Body[1].(*ast.Assign).RHS.(*ast.Binary)
+	if add.Op != ast.Add {
+		t.Fatalf("a+b*c: %#v", add)
+	}
+	pow := prog.Body[2].(*ast.Assign).RHS.(*ast.Binary)
+	if inner, ok := pow.R.(*ast.Binary); !ok || inner.Op != ast.Pow {
+		t.Fatalf("a**b**c: %#v", pow)
+	}
+	sub := prog.Body[3].(*ast.Assign).RHS.(*ast.Binary)
+	if l, ok := sub.L.(*ast.Binary); !ok || l.Op != ast.Sub {
+		t.Fatalf("a-b-c not left assoc: %#v", sub)
+	}
+}
+
+func TestLogicalPrecedence(t *testing.T) {
+	src := wrap("logical :: p, q, r, s\ns = p .or. q .and. .not. r")
+	or := parse(t, src).Body[0].(*ast.Assign).RHS.(*ast.Binary)
+	if or.Op != ast.Or {
+		t.Fatalf("top = %v", or.Op)
+	}
+	and := or.R.(*ast.Binary)
+	if and.Op != ast.And {
+		t.Fatalf("right = %v", and.Op)
+	}
+	if n, ok := and.R.(*ast.Unary); !ok || n.Op != ast.Not {
+		t.Fatalf("not = %#v", and.R)
+	}
+}
+
+func TestCallAndPrint(t *testing.T) {
+	src := wrap("real :: x\ncall init(x, 3)\nprint *, 'x =', x")
+	prog := parse(t, src)
+	c := prog.Body[0].(*ast.Call)
+	if c.Name != "init" || len(c.Args) != 2 {
+		t.Fatalf("call = %#v", c)
+	}
+	pr := prog.Body[1].(*ast.Print)
+	if len(pr.Items) != 2 {
+		t.Fatalf("print = %#v", pr)
+	}
+}
+
+func TestStopAndContinue(t *testing.T) {
+	src := wrap("continue\nstop")
+	prog := parse(t, src)
+	if _, ok := prog.Body[0].(*ast.Continue); !ok {
+		t.Fatalf("continue: %#v", prog.Body[0])
+	}
+	if _, ok := prog.Body[1].(*ast.Stop); !ok {
+		t.Fatalf("stop: %#v", prog.Body[1])
+	}
+}
+
+func TestSWEExcerpt(t *testing.T) {
+	// The Fig. 12 SWE statement with continuation.
+	src := wrap(`real, array(64,64) :: z, u, v, p, tmp0, tmp1
+real :: fsdx, fsdy
+z = (fsdx*(v - cshift(v, dim=1, shift=-1)) - &
+     fsdy*(u - cshift(u, dim=2, shift=-1))) / (p + tmp0)`)
+	a := parse(t, src).Body[0].(*ast.Assign)
+	div := a.RHS.(*ast.Binary)
+	if div.Op != ast.Div {
+		t.Fatalf("top op = %v", div.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"program t\nx = \nend program t",
+		"program t\nif (x then\ny=1\nend if\nend program t",
+		"program t\ndo i = 1\nend do\nend program t",
+		"program t\nx = 1",                    // missing end
+		"program t\ninteger :: \nend program", // missing name
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad.f90", src); err == nil {
+			t.Errorf("expected error for:\n%s", src)
+		}
+	}
+}
+
+// TestFormatRoundTrip checks Format∘Parse is idempotent on a corpus of
+// programs: parse, format, re-parse, re-format — the two formatted strings
+// must be identical.
+func TestFormatRoundTrip(t *testing.T) {
+	corpus := []string{
+		wrap("integer k(128,64), l(128)\nl = 6\nk = 2*k + 5"),
+		wrap("integer k(128,64), l(128)\nl(32:64) = l(96:128)\nk(32:64,:) = k(32:64,:)**2"),
+		wrap("integer, array(32,32) :: a\nforall (i=1:32, j=1:32) a(i,j) = i+j"),
+		wrap("real, array(16) :: a, b\nwhere (a > 0)\n  b = a\nelsewhere\n  b = -a\nend where"),
+		wrap("real, array(64,64) :: v, z\nz = cshift(v, dim=1, shift=-1)"),
+		wrap("integer :: i, s\ndo i = 1, 32, 2\n  if (s < 100) then\n    s = s + i\n  else\n    s = s - i\n  end if\nend do"),
+		wrap("real :: a, b, c, r\nr = (a + b)*c\nr = a**(b*c)\nr = -(a + b)"),
+	}
+	for _, src := range corpus {
+		p1 := parse(t, src)
+		f1 := ast.Format(p1)
+		p2, err := Parse("fmt.f90", f1)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nformatted:\n%s", err, f1)
+		}
+		f2 := ast.Format(p2)
+		if f1 != f2 {
+			t.Errorf("round trip not idempotent:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+		}
+	}
+}
+
+func TestSemicolonStatements(t *testing.T) {
+	src := wrap("integer :: x, y\nx = 1; y = 2")
+	prog := parse(t, src)
+	if len(prog.Body) != 2 {
+		t.Fatalf("body = %d", len(prog.Body))
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	prog := parse(t, "program empty\nend program empty\n")
+	if len(prog.Body) != 0 || len(prog.Decls) != 0 {
+		t.Fatalf("empty program: %#v", prog)
+	}
+}
+
+func TestEndWithoutProgramKeyword(t *testing.T) {
+	prog := parse(t, "program t\ninteger :: i\ni = 1\nend\n")
+	if len(prog.Body) != 1 {
+		t.Fatalf("body = %d", len(prog.Body))
+	}
+}
+
+func TestFusedEndSpellings(t *testing.T) {
+	src := wrap("integer :: i, s\ndo i = 1, 4\n  if (i > 2) then\n    s = i\n  endif\nenddo")
+	prog := parse(t, src)
+	loop := prog.Body[0].(*ast.DoLoop)
+	if len(loop.Body) != 1 {
+		t.Fatalf("fused ends: %#v", loop)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("program deep\ninteger :: s\n")
+	const n = 30
+	for i := 0; i < n; i++ {
+		b.WriteString("if (s > 0) then\n")
+	}
+	b.WriteString("s = 1\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("end if\n")
+	}
+	b.WriteString("end program deep\n")
+	prog := parse(t, b.String())
+	depth := 0
+	s := prog.Body[0]
+	for {
+		ifs, ok := s.(*ast.If)
+		if !ok {
+			break
+		}
+		depth++
+		if len(ifs.Then) == 0 {
+			break
+		}
+		s = ifs.Then[0]
+	}
+	if depth != n {
+		t.Fatalf("depth = %d, want %d", depth, n)
+	}
+}

@@ -1,0 +1,328 @@
+// Package pe implements the PE/NIR compiler of §5.2: it reduces a
+// restricted class of NIR programs — a single virtual-subgrid loop whose
+// body is a sequence of optionally-masked pointwise moves — to PEAC node
+// procedures, "carefully tuned for optimizing the loop over local data in
+// each processor".
+//
+// The compiler builds an expression DAG per computation block (enabling
+// cross-statement value reuse and store-to-load forwarding), selects
+// instructions with chained multiply-add fusion and memory-operand
+// chaining, allocates the eight vector registers by lifetime analysis with
+// Belady spilling (a spill/restore pair costs 18 cycles), and finally
+// overlaps memory traffic with computation by dual-issue pairing.
+package pe
+
+import (
+	"fmt"
+
+	"f90y/internal/lower"
+	"f90y/internal/nir"
+)
+
+// Options selects the §5.2 optimizations individually, supporting the
+// Fig. 12 naive/optimized comparison and the ablation benchmarks.
+type Options struct {
+	CSE      bool // cross-statement common-subexpression elimination + forwarding
+	Chaining bool // one in-memory operand substituted for a register operand
+	Fmadd    bool // multiply-add sequences become chained multiply-adds
+	Overlap  bool // loads/stores overlapped with computation (dual issue)
+	// VRegs overrides the vector register file size for the allocator;
+	// zero means the architected peac.NumVRegs. "Vector registers tend to
+	// be the limiting resource" (§5.2) — the register-file ablation sweeps
+	// this.
+	VRegs int
+}
+
+// Optimized enables every PE optimization.
+var Optimized = Options{CSE: true, Chaining: true, Fmadd: true, Overlap: true}
+
+// Naive disables everything, matching Fig. 12's naive encoding.
+var Naive = Options{}
+
+// nodeOp classifies DAG nodes.
+type nodeOp int
+
+const (
+	opLoad   nodeOp = iota // element of an array stream
+	opCoord                // local coordinate along a dimension of the shape
+	opScalar               // broadcast front-end scalar
+	opConst                // immediate constant
+	opBin
+	opUn
+	opCmp
+	opSel // sel(cond, a, b)
+)
+
+// node is one DAG vertex.
+type node struct {
+	id    int
+	op    nodeOp
+	bin   nir.BinOp
+	un    nir.UnOp
+	cmp   nir.BinOp // comparison kind for opCmp
+	args  []*node
+	array string  // opLoad
+	ver   int     // load version (invalidated by stores)
+	dim   int     // opCoord
+	sname string  // opScalar
+	cval  float64 // opConst
+	isInt bool    // integer value semantics
+	uses  int
+	fused bool // consumed into an fmadd; no instruction emitted
+	chain bool // folded as a memory operand; no separate load emitted
+}
+
+// storeEffect is one array store in block order.
+type storeEffect struct {
+	array string
+	val   *node
+	mask  *node // nil = unconditional
+}
+
+// builder constructs the DAG for one computation block.
+type builder struct {
+	opts    Options
+	syms    *lower.SymTab
+	nodes   []*node
+	memo    map[string]*node // hash-consing (CSE)
+	version map[string]int   // store counters per array
+	avail   map[string]*node // store-to-load forwarding values
+	stores  []storeEffect
+	coords  map[int]*node
+}
+
+func newBuilder(opts Options, syms *lower.SymTab) *builder {
+	return &builder{
+		opts:    opts,
+		syms:    syms,
+		memo:    map[string]*node{},
+		version: map[string]int{},
+		avail:   map[string]*node{},
+		coords:  map[int]*node{},
+	}
+}
+
+func (b *builder) intern(key string, mk func() *node) *node {
+	if b.opts.CSE {
+		if n, ok := b.memo[key]; ok {
+			return n
+		}
+	}
+	n := mk()
+	n.id = len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	if b.opts.CSE {
+		b.memo[key] = n
+	}
+	return n
+}
+
+func (b *builder) load(array string, isInt bool) *node {
+	if b.opts.CSE {
+		if v, ok := b.avail[array]; ok {
+			return v // forwarded from a prior store in this block
+		}
+	}
+	ver := b.version[array]
+	key := fmt.Sprintf("load:%s:%d", array, ver)
+	return b.intern(key, func() *node {
+		return &node{op: opLoad, array: array, ver: ver, isInt: isInt}
+	})
+}
+
+func (b *builder) coord(dim int) *node {
+	if n, ok := b.coords[dim]; ok && b.opts.CSE {
+		return n
+	}
+	n := b.intern(fmt.Sprintf("coord:%d", dim), func() *node {
+		return &node{op: opCoord, dim: dim, isInt: true}
+	})
+	b.coords[dim] = n
+	return n
+}
+
+func (b *builder) scalar(name string, isInt bool) *node {
+	return b.intern("svar:"+name, func() *node {
+		return &node{op: opScalar, sname: name, isInt: isInt}
+	})
+}
+
+func (b *builder) constant(v float64, isInt bool) *node {
+	return b.intern(fmt.Sprintf("const:%g:%v", v, isInt), func() *node {
+		return &node{op: opConst, cval: v, isInt: isInt}
+	})
+}
+
+func (b *builder) binary(op nir.BinOp, l, r *node) *node {
+	isInt := l.isInt && r.isInt
+	if op.Comparison() || op.Logical() {
+		key := fmt.Sprintf("cmp:%d:%d:%d", op, l.id, r.id)
+		return b.intern(key, func() *node {
+			n := &node{args: []*node{l, r}}
+			if op.Comparison() {
+				n.op = opCmp
+				n.cmp = op
+			} else {
+				n.op = opBin
+				n.bin = op
+			}
+			return n
+		})
+	}
+	key := fmt.Sprintf("bin:%d:%d:%d:%v", op, l.id, r.id, isInt)
+	return b.intern(key, func() *node {
+		return &node{op: opBin, bin: op, args: []*node{l, r}, isInt: isInt}
+	})
+}
+
+func (b *builder) unary(op nir.UnOp, x *node) *node {
+	isInt := x.isInt
+	switch op {
+	case nir.ToFloat64, nir.ToFloat32:
+		if !x.isInt {
+			return x // all lanes are 64-bit already
+		}
+		isInt = false
+		// A pure reinterpretation: integers are stored exactly in f64
+		// lanes, so conversion is a semantic retag, not an instruction.
+		key := fmt.Sprintf("retag:%d", x.id)
+		return b.intern(key, func() *node {
+			return &node{op: opUn, un: nir.ToFloat64, args: []*node{x}, isInt: false}
+		})
+	case nir.ToInteger32:
+		if x.isInt {
+			return x
+		}
+		isInt = true
+	}
+	key := fmt.Sprintf("un:%d:%d", op, x.id)
+	return b.intern(key, func() *node {
+		return &node{op: opUn, un: op, args: []*node{x}, isInt: isInt}
+	})
+}
+
+func (b *builder) sel(cond, t, f *node) *node {
+	key := fmt.Sprintf("sel:%d:%d:%d", cond.id, t.id, f.id)
+	return b.intern(key, func() *node {
+		return &node{op: opSel, args: []*node{cond, t, f}, isInt: t.isInt && f.isInt}
+	})
+}
+
+// store records a (possibly masked) array store and updates forwarding
+// state.
+func (b *builder) store(array string, val *node, mask *node, isInt bool) {
+	if isInt && !val.isInt {
+		val = b.unary(nir.ToInteger32, val)
+	}
+	b.stores = append(b.stores, storeEffect{array: array, val: val, mask: mask})
+	if mask == nil {
+		b.avail[array] = val
+	} else {
+		// Later loads of this array see sel(mask, val, old).
+		old := b.load(array, isInt)
+		b.avail[array] = b.sel(mask, val, old)
+	}
+	b.version[array]++
+}
+
+// value lowers a NIR value to a DAG node.
+func (b *builder) value(v nir.Value) (*node, error) {
+	switch v := v.(type) {
+	case nir.Const:
+		switch v.Type.Kind {
+		case nir.Integer32:
+			return b.constant(float64(v.I), true), nil
+		case nir.Logical32:
+			f := 0.0
+			if v.B {
+				f = 1
+			}
+			return b.constant(f, false), nil
+		default:
+			return b.constant(v.F, false), nil
+		}
+	case nir.SVar:
+		isInt := false
+		if sym, ok := b.syms.Lookup(v.Name); ok {
+			isInt = sym.Kind == nir.Integer32
+		}
+		return b.scalar(v.Name, isInt), nil
+	case nir.AVar:
+		if _, ok := v.Field.(nir.Everywhere); !ok {
+			return nil, fmt.Errorf("pe: non-pointwise reference to %q", v.Name)
+		}
+		isInt := false
+		if sym, ok := b.syms.Lookup(v.Name); ok {
+			isInt = sym.Kind == nir.Integer32
+		}
+		return b.load(v.Name, isInt), nil
+	case nir.LocalUnder:
+		return b.coord(v.Dim), nil
+	case nir.Binary:
+		if v.Op == nir.Pow {
+			return b.power(v)
+		}
+		l, err := b.value(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.value(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return b.binary(v.Op, l, r), nil
+	case nir.Unary:
+		x, err := b.value(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return b.unary(v.Op, x), nil
+	case nir.FcnCall:
+		return nil, fmt.Errorf("pe: runtime call %q inside computation block", v.Name)
+	}
+	return nil, fmt.Errorf("pe: unsupported value %T", v)
+}
+
+// power strength-reduces X**N for small constant integer exponents into
+// multiplications; general real exponents become exp(log(x)*y).
+func (b *builder) power(v nir.Binary) (*node, error) {
+	base, err := b.value(v.L)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := v.R.(nir.Const); ok && c.Type.Kind == nir.Integer32 {
+		n := c.I
+		neg := n < 0
+		if neg {
+			if base.isInt {
+				return nil, fmt.Errorf("pe: negative integer exponent on integer base")
+			}
+			n = -n
+		}
+		if n > 64 {
+			return nil, fmt.Errorf("pe: constant exponent %d too large", n)
+		}
+		var acc *node
+		if n == 0 {
+			acc = b.constant(1, base.isInt)
+		} else {
+			acc = base
+			for k := int64(1); k < n; k++ {
+				acc = b.binary(nir.Mul, acc, base)
+			}
+		}
+		if neg {
+			one := b.constant(1, false)
+			acc = b.binary(nir.Div, one, acc)
+		}
+		return acc, nil
+	}
+	exp, err := b.value(v.R)
+	if err != nil {
+		return nil, err
+	}
+	if base.isInt || exp.isInt {
+		return nil, fmt.Errorf("pe: non-constant integer exponent unsupported on the PE")
+	}
+	return b.unary(nir.Exp, b.binary(nir.Mul, b.unary(nir.Log, base), exp)), nil
+}

@@ -1,0 +1,204 @@
+package pe
+
+import (
+	"math"
+
+	"f90y/internal/peac"
+)
+
+// allocate maps virtual vector registers onto the eight architected
+// registers by lifetime analysis over the single basic block (§5.2:
+// "because such a virtual subgrid loop with purely local references can be
+// represented graphically as one basic block with a single back-edge,
+// register allocation can be optimized"). When pressure exceeds the file,
+// the live value with the farthest next use is spilled (Belady's rule);
+// values are SSA within the block, so a value already written to its spill
+// slot is never stored twice.
+func allocate(instrs []peac.Instr, nvreg, K int) ([]peac.Instr, int) {
+	const inf = math.MaxInt
+
+	// Use positions per virtual register.
+	uses := make([][]int, nvreg)
+	for i, in := range instrs {
+		for _, o := range sourceOps(in) {
+			if o.Kind == peac.VReg {
+				uses[o.N] = append(uses[o.N], i)
+			}
+		}
+	}
+	nextUse := func(v, after int) int {
+		for _, u := range uses[v] {
+			if u >= after {
+				return u
+			}
+		}
+		return inf
+	}
+
+	physOf := make([]int, nvreg) // vreg -> phys, -1 if not resident
+	slotOf := make([]int, nvreg) // vreg -> spill slot, -1 if none
+	for i := range physOf {
+		physOf[i] = -1
+		slotOf[i] = -1
+	}
+	resident := make([]int, K) // phys -> vreg, -1 if free
+	for i := range resident {
+		resident[i] = -1
+	}
+	slots := 0
+	var out []peac.Instr
+
+	takeFree := func() int {
+		for p, v := range resident {
+			if v == -1 {
+				return p
+			}
+		}
+		return -1
+	}
+
+	// allocPhys finds a register, spilling the farthest-next-used value if
+	// necessary; vregs in keep must not be evicted.
+	allocPhys := func(at int, keep map[int]bool) int {
+		if p := takeFree(); p >= 0 {
+			return p
+		}
+		victim, victimNext := -1, -1
+		for p := 0; p < K; p++ {
+			v := resident[p]
+			if v == -1 || keep[v] {
+				continue
+			}
+			nu := nextUse(v, at)
+			if nu > victimNext {
+				victim, victimNext = p, nu
+			}
+		}
+		if victim < 0 {
+			panic("pe: register pressure exceeds file with all sources live")
+		}
+		v := resident[victim]
+		if slotOf[v] == -1 && victimNext != inf {
+			// Value still needed later: write it to its spill slot.
+			slotOf[v] = slots
+			slots++
+			out = append(out, peac.Instr{Op: peac.SPILLV, A: peac.V(victim), D: peac.Slot(slotOf[v])})
+		}
+		physOf[v] = -1
+		resident[victim] = -1
+		return victim
+	}
+
+	rewrite := func(o peac.Operand) peac.Operand {
+		if o.Kind == peac.VReg {
+			return peac.V(physOf[o.N])
+		}
+		return o
+	}
+
+	for i := range instrs {
+		in := instrs[i]
+		// Source vregs of this instruction.
+		srcs := map[int]bool{}
+		for _, o := range sourceOps(in) {
+			if o.Kind == peac.VReg {
+				srcs[o.N] = true
+			}
+		}
+		// Restore spilled sources.
+		for v := range srcs {
+			if physOf[v] >= 0 {
+				continue
+			}
+			p := allocPhys(i, residentSet(resident, srcs))
+			out = append(out, peac.Instr{Op: peac.RESTV, A: peac.Slot(slotOf[v]), D: peac.V(p)})
+			physOf[v] = p
+			resident[p] = v
+		}
+		// Rewrite sources now that residency is settled.
+		in.A = rewrite(in.A)
+		in.B = rewrite(in.B)
+		in.C = rewrite(in.C)
+
+		// Free sources that die here.
+		for v := range srcs {
+			if nextUse(v, i+1) == inf {
+				resident[physOf[v]] = -1
+				physOf[v] = -1
+			}
+		}
+		// Allocate the destination.
+		if in.D.Kind == peac.VReg {
+			dv := in.D.N
+			keep := map[int]bool{}
+			for v := range srcs {
+				if physOf[v] >= 0 {
+					keep[v] = true
+				}
+			}
+			p := allocPhys(i, keep)
+			physOf[dv] = p
+			resident[p] = dv
+			in.D = peac.V(p)
+		}
+		out = append(out, in)
+	}
+	return out, slots
+}
+
+// residentSet returns the set of vregs that must survive while restoring
+// the given sources.
+func residentSet(resident []int, srcs map[int]bool) map[int]bool {
+	keep := map[int]bool{}
+	for _, v := range resident {
+		if v >= 0 && srcs[v] {
+			keep[v] = true
+		}
+	}
+	return keep
+}
+
+// sourceOps lists the operands an instruction reads.
+func sourceOps(in peac.Instr) []peac.Operand {
+	switch in.Op {
+	case peac.FLODV, peac.RESTV:
+		return nil
+	case peac.FSTRV, peac.SPILLV:
+		return []peac.Operand{in.A, in.C}
+	default:
+		return []peac.Operand{in.A, in.B, in.C}
+	}
+}
+
+// overlap dual-issues memory operations with the preceding arithmetic
+// instruction where no register dependence forbids it, modelling §5.2:
+// "we overlap the resulting memory accesses with computation where
+// possible to minimize lost cycles" and Fig. 12's comma-paired lines.
+func overlap(body []peac.Instr) []peac.Instr {
+	for i := 0; i+1 < len(body); i++ {
+		cur := body[i]
+		next := body[i+1]
+		if cur.Paired || next.Paired {
+			continue
+		}
+		if !cur.Arithmetic() || cur.MemOperand() {
+			continue // the arithmetic op must leave the memory port free
+		}
+		switch next.Op {
+		case peac.FLODV, peac.RESTV:
+			if next.D == cur.D {
+				continue
+			}
+		case peac.FSTRV, peac.SPILLV:
+			// A store may not issue with the op computing its operand.
+			if next.A == cur.D || (next.C.Kind == peac.VReg && next.C == cur.D) {
+				continue
+			}
+		default:
+			continue
+		}
+		body[i+1].Paired = true
+		i++ // pairs are width two
+	}
+	return body
+}

@@ -1,0 +1,227 @@
+// Package peac defines PEAC, the Processing Element Assembly Code of the
+// slicewise CM/2 programming model (§2.2). PEAC programs the Weitek
+// WTL3164 as a four-wide vector processor: vector loads and stores may be
+// overlapped with arithmetic (dual issue), one in-memory operand may be
+// chained into an arithmetic instruction, and multiply-add sequences may
+// be converted to chained multiply-adds.
+//
+// The package provides the instruction set, the textual assembly format of
+// Fig. 12, and the per-instruction cycle cost model used by the CM/2
+// simulator. Every node procedure is a single virtual-subgrid loop: one
+// basic block with a single back edge (§5.2).
+package peac
+
+import "fmt"
+
+// VectorWidth is the number of elements processed by one vector
+// instruction (the Weitek four-wide vector abstraction).
+const VectorWidth = 4
+
+// NumVRegs is the number of architected vector registers available to the
+// allocator. The Weitek register file holds 32 64-bit words, i.e. eight
+// four-deep vector registers; vector registers "tend to be the limiting
+// resource" (§5.2).
+const NumVRegs = 8
+
+// Opcode enumerates PEAC operations.
+type Opcode int
+
+// PEAC opcodes.
+const (
+	NOP Opcode = iota
+
+	FLODV // load vector:  flodv [aPn+0]1++ aVd
+	FSTRV // store vector: fstrv aVs [aPn+0]1++ (optional mask in C)
+
+	FADDV // aVd = A + B
+	FSUBV // aVd = A - B
+	FMULV // aVd = A * B
+	FDIVV // aVd = A / B
+	FMODV // aVd = A mod B
+	FMINV // aVd = min(A,B)
+	FMAXV // aVd = max(A,B)
+
+	FMADDV // chained multiply-add: aVd = A*B + C
+	FMSUBV // chained multiply-sub: aVd = A*B - C
+
+	FNEGV  // aVd = -A
+	FABSV  // aVd = |A|
+	FSQRTV // aVd = sqrt(A)
+	FSINV  // transcendentals (microcoded, slow)
+	FCOSV
+	FTANV
+	FEXPV
+	FLOGV
+	FTRNCV // truncate toward zero (float -> int semantics)
+	FMOVV  // register move
+
+	FCMPV // compare: aVd = (A <cmp> B) ? 1 : 0
+	FANDV // mask and
+	FORV  // mask or
+	FNOTV // mask not
+	FEQVV // mask eqv
+	FNEQV // mask neqv
+	FSELV // select: aVd = C ? A : B
+
+	SPILLV // spill store:  fstrv aVs [aSP+k]  (allocator-generated)
+	RESTV  // spill reload: flodv [aSP+k] aVd
+
+	JNZ // decrement trip counter, branch to loop head
+)
+
+// CmpKind selects the comparison for FCMPV.
+type CmpKind int
+
+// Comparison kinds.
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c CmpKind) String() string { return cmpNames[c] }
+
+// OperandKind classifies instruction operands.
+type OperandKind int
+
+// Operand kinds.
+const (
+	NoOperand OperandKind = iota
+	VReg                  // vector register aVn
+	SReg                  // scalar (broadcast) register aSn
+	Mem                   // memory vector via pointer register: [aPn+0]1++
+	SpillSlot             // spill area slot: [aSP+k]
+)
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind OperandKind
+	N    int // register number or spill slot index
+}
+
+// V, S, M, and Slot build operands.
+func V(n int) Operand    { return Operand{Kind: VReg, N: n} }
+func S(n int) Operand    { return Operand{Kind: SReg, N: n} }
+func M(n int) Operand    { return Operand{Kind: Mem, N: n} }
+func Slot(n int) Operand { return Operand{Kind: SpillSlot, N: n} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case VReg:
+		return fmt.Sprintf("aV%d", o.N)
+	case SReg:
+		return fmt.Sprintf("aS%d", o.N)
+	case Mem:
+		return fmt.Sprintf("[aP%d+0]1++", o.N)
+	case SpillSlot:
+		return fmt.Sprintf("[aSP+%d]", o.N)
+	}
+	return ""
+}
+
+// Instr is one PEAC instruction. A, B, C are sources (C is the fmadd
+// addend, the select condition, or the store mask), D the destination.
+// IntOp selects integer semantics for division-like operations. Paired
+// marks an instruction dual-issued with its predecessor (printed on the
+// same line, Fig. 12's optimized encoding).
+type Instr struct {
+	Op     Opcode
+	Cmp    CmpKind
+	A, B   Operand
+	C      Operand
+	D      Operand
+	IntOp  bool
+	Paired bool
+}
+
+var opNames = map[Opcode]string{
+	NOP: "nop", FLODV: "flodv", FSTRV: "fstrv",
+	FADDV: "faddv", FSUBV: "fsubv", FMULV: "fmulv", FDIVV: "fdivv",
+	FMODV: "fmodv", FMINV: "fminv", FMAXV: "fmaxv",
+	FMADDV: "fmaddv", FMSUBV: "fmsubv",
+	FNEGV: "fnegv", FABSV: "fabsv", FSQRTV: "fsqrtv",
+	FSINV: "fsinv", FCOSV: "fcosv", FTANV: "ftanv",
+	FEXPV: "fexpv", FLOGV: "flogv", FTRNCV: "ftrncv", FMOVV: "fmovv",
+	FCMPV: "fcmpv", FANDV: "fandv", FORV: "forv", FNOTV: "fnotv",
+	FEQVV: "feqvv", FNEQV: "fneqv", FSELV: "fselv",
+	SPILLV: "fstrv", RESTV: "flodv", JNZ: "jnz",
+}
+
+// Mnemonic returns the assembly mnemonic.
+func (i Instr) Mnemonic() string {
+	if i.Op == FCMPV {
+		return "fcmpv." + i.Cmp.String()
+	}
+	return opNames[i.Op]
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP:
+		return "nop"
+	case FLODV:
+		return fmt.Sprintf("flodv %s %s", i.A, i.D)
+	case FSTRV:
+		if i.C.Kind != NoOperand {
+			return fmt.Sprintf("fstrv %s %s ?%s", i.A, i.D, i.C)
+		}
+		return fmt.Sprintf("fstrv %s %s", i.A, i.D)
+	case SPILLV:
+		return fmt.Sprintf("fstrv %s %s", i.A, i.D)
+	case RESTV:
+		return fmt.Sprintf("flodv %s %s", i.A, i.D)
+	case FNEGV, FABSV, FSQRTV, FSINV, FCOSV, FTANV, FEXPV, FLOGV, FTRNCV, FMOVV, FNOTV:
+		return fmt.Sprintf("%s %s %s", i.Mnemonic(), i.A, i.D)
+	case FMADDV, FMSUBV, FSELV:
+		return fmt.Sprintf("%s %s %s %s %s", i.Mnemonic(), i.A, i.B, i.C, i.D)
+	case JNZ:
+		return "jnz ac2"
+	default:
+		return fmt.Sprintf("%s %s %s %s", i.Mnemonic(), i.A, i.B, i.D)
+	}
+}
+
+// MemOperand reports whether the instruction touches memory (loads,
+// stores, spills, or a chained memory source operand).
+func (i Instr) MemOperand() bool {
+	switch i.Op {
+	case FLODV, FSTRV, SPILLV, RESTV:
+		return true
+	}
+	return i.A.Kind == Mem || i.B.Kind == Mem || i.C.Kind == Mem
+}
+
+// Arithmetic reports whether the instruction runs on the FPU datapath.
+func (i Instr) Arithmetic() bool {
+	switch i.Op {
+	case FLODV, FSTRV, SPILLV, RESTV, JNZ, NOP:
+		return false
+	}
+	return true
+}
+
+// Flops returns the floating-point operations performed per vector issue
+// (over VectorWidth elements). Mask bookkeeping, moves, loads and stores
+// count zero.
+func (i Instr) Flops() int {
+	switch i.Op {
+	case FADDV, FSUBV, FMULV, FDIVV, FNEGV, FABSV, FSQRTV, FMINV, FMAXV, FMODV:
+		if i.IntOp {
+			return 0
+		}
+		return VectorWidth
+	case FMADDV, FMSUBV:
+		if i.IntOp {
+			return 0
+		}
+		return 2 * VectorWidth
+	case FSINV, FCOSV, FTANV, FEXPV, FLOGV:
+		return VectorWidth
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package peac
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamKind classifies routine parameters pushed over the IFIFO (§5.2:
+// "Receive pointers to the local subgrids ... Receive a pointer to the
+// local coordinate 1 subgrid ... Receive the virtual subgrid size V").
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// ArrayParam is a pointer to the local subgrid of a CM array; it is
+	// bound to a pointer register.
+	ArrayParam ParamKind = iota
+	// CoordParam is a pointer to a local coordinate subgrid along one
+	// dimension; also bound to a pointer register.
+	CoordParam
+	// ScalarParam is a front-end scalar broadcast into a scalar register.
+	ScalarParam
+	// ConstParam is an immediate constant loaded into a scalar register
+	// before the loop.
+	ConstParam
+)
+
+// Param is one routine parameter.
+type Param struct {
+	Kind  ParamKind
+	Name  string  // array or scalar identifier (ArrayParam, ScalarParam)
+	Dim   int     // coordinate dimension, 1-based (CoordParam)
+	Value float64 // immediate (ConstParam)
+	Reg   int     // assigned pointer or scalar register number
+	IsInt bool    // integer-kind storage
+}
+
+func (p Param) String() string {
+	switch p.Kind {
+	case ArrayParam:
+		return fmt.Sprintf("aP%d <- subgrid '%s'", p.Reg, p.Name)
+	case CoordParam:
+		return fmt.Sprintf("aP%d <- coord subgrid dim %d", p.Reg, p.Dim)
+	case ScalarParam:
+		return fmt.Sprintf("aS%d <- scalar '%s'", p.Reg, p.Name)
+	default:
+		return fmt.Sprintf("aS%d <- imm %g", p.Reg, p.Value)
+	}
+}
+
+// Routine is one PEAC node procedure: a single virtual-subgrid loop whose
+// body is Body, preceded by parameter reception. Stores write back to the
+// arrays named in Params.
+type Routine struct {
+	Name       string
+	Params     []Param
+	Body       []Instr
+	SpillSlots int // spill area words per PE
+}
+
+// Format renders the routine in the Fig. 12 assembly style: the loop
+// label, the body with dual-issued pairs on one line, and the closing jnz.
+func (r *Routine) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s_\n", r.Name)
+	line := ""
+	flush := func() {
+		if line != "" {
+			b.WriteString("    " + line + "\n")
+			line = ""
+		}
+	}
+	for _, in := range r.Body {
+		if in.Op == JNZ {
+			continue // printed at the end
+		}
+		if in.Paired && line != "" {
+			line += ", " + in.String()
+			flush()
+			continue
+		}
+		flush()
+		line = in.String()
+	}
+	flush()
+	fmt.Fprintf(&b, "    jnz ac2 %s_\n", r.Name)
+	return b.String()
+}
+
+// InstrCount is the number of instructions in the loop body, counting a
+// dual-issued pair as two (the jnz is excluded, matching Fig. 12's body
+// listings).
+func (r *Routine) InstrCount() int {
+	n := 0
+	for _, in := range r.Body {
+		if in.Op != JNZ {
+			n++
+		}
+	}
+	return n
+}
+
+// IssueSlots is the number of issue slots the body occupies: dual-issued
+// pairs count once.
+func (r *Routine) IssueSlots() int {
+	n := 0
+	for _, in := range r.Body {
+		if in.Op == JNZ || in.Paired {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// FlopsPerIteration is the floating-point work of one loop iteration
+// (VectorWidth elements).
+func (r *Routine) FlopsPerIteration() int {
+	f := 0
+	for _, in := range r.Body {
+		f += in.Flops()
+	}
+	return f
+}
+
+// CostModel is the per-instruction cycle model of the slicewise PE. The
+// constants are calibrated from §5.2's stated facts: a vector operation
+// covers four elements; "a single vector spill-restore pair costs 18
+// cycles — roughly equivalent to three single-precision floating point
+// vector operations" (so one vector op = 6 cycles and a spill or restore
+// is 9); divides and transcendentals are microcoded and several times
+// slower.
+type CostModel struct {
+	VectorOp  int // load, store, add/sub/mul, compare, select, mask ops
+	Divide    int
+	Sqrt      int
+	Transcend int
+	Spill     int // one spill store or one restore (pair = 2*Spill = 18)
+	LoopJnz   int
+}
+
+// DefaultCost is the calibrated CM/2 slicewise cost model.
+var DefaultCost = CostModel{
+	VectorOp:  6,
+	Divide:    36,
+	Sqrt:      42,
+	Transcend: 60,
+	Spill:     9,
+	LoopJnz:   1,
+}
+
+// InstrCycles is the issue cost of one instruction under the model.
+func (c CostModel) InstrCycles(i Instr) int {
+	switch i.Op {
+	case NOP:
+		return 0
+	case JNZ:
+		return c.LoopJnz
+	case SPILLV, RESTV:
+		return c.Spill
+	case FDIVV, FMODV:
+		return c.Divide
+	case FSQRTV:
+		return c.Sqrt
+	case FSINV, FCOSV, FTANV, FEXPV, FLOGV:
+		return c.Transcend
+	default:
+		return c.VectorOp
+	}
+}
+
+// BodyCycles is the cycle cost of one loop iteration: dual-issued pairs
+// cost the maximum of their two instructions, everything else accumulates
+// serially, plus the loop-control jnz.
+func (c CostModel) BodyCycles(body []Instr) int {
+	total := 0
+	prev := 0 // cost of the open issue group
+	for _, in := range body {
+		if in.Op == JNZ {
+			continue // charged once by the trailing LoopJnz term
+		}
+		cyc := c.InstrCycles(in)
+		if in.Paired && prev > 0 {
+			if cyc > prev {
+				total += cyc - prev
+				prev = cyc
+			}
+			continue
+		}
+		total += cyc
+		prev = cyc
+	}
+	return total + c.LoopJnz
+}
+
+// RoutineCycles is the per-PE cost of executing the routine over a local
+// subgrid of the given element count.
+func (c CostModel) RoutineCycles(r *Routine, subgridElems int) int {
+	iters := (subgridElems + VectorWidth - 1) / VectorWidth
+	if iters == 0 {
+		return 0
+	}
+	return iters * c.BodyCycles(r.Body)
+}

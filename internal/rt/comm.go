@@ -1,0 +1,366 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"f90y/internal/nir"
+	"f90y/internal/shape"
+)
+
+// CommCost is the communication cycle model, in per-PE sequencer cycles.
+// Grid shifts use the microcoded NEWS network: cheap per element, with a
+// wire charge only for elements crossing a PE boundary. Everything
+// irregular goes through the general router at a much higher per-element
+// charge (§2.2: special-purpose communications "can be substantially
+// faster than the worst-case router alternative"). Reductions combine a
+// local sweep with a log-depth hypercube phase.
+type CommCost struct {
+	GridStartup   float64
+	GridLocal     float64 // per element, intra-PE
+	GridWire      float64 // per element crossing a PE face, per hop
+	RouterStartup float64
+	RouterPerElem float64
+	ReduceStartup float64
+	ReducePerElem float64
+	HopCost       float64 // per hypercube dimension in combine trees
+}
+
+// DefaultCommCost is the calibrated CM/2 model.
+var DefaultCommCost = CommCost{
+	GridStartup:   150,
+	GridLocal:     3.5,
+	GridWire:      70,
+	RouterStartup: 400,
+	RouterPerElem: 60,
+	ReduceStartup: 150,
+	ReducePerElem: 2,
+	HopCost:       25,
+}
+
+// Comm executes communication-class moves against a store, accumulating
+// modeled cycles.
+type Comm struct {
+	Store  *Store
+	PEs    int
+	Cost   CommCost
+	Cycles float64
+	Calls  int
+}
+
+func (c *Comm) layoutOf(a *Array) shape.Layout {
+	return shape.Blockwise(shape.Of(a.Ext...), c.PEs)
+}
+
+// ExecMove executes one communication-class move: either a runtime
+// intrinsic call (cm_*) or a general data motion between shapes, routed
+// elementwise.
+func (c *Comm) ExecMove(m nir.Move) error {
+	c.Calls++
+	for _, g := range m.Moves {
+		if fc, ok := g.Src.(nir.FcnCall); ok {
+			if err := c.execIntrinsic(fc, g.Tgt); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.generalMove(m.Over, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Comm) arrayArg(v nir.Value, what string) (*Array, error) {
+	av, ok := v.(nir.AVar)
+	if !ok {
+		return nil, fmt.Errorf("rt: %s must be an array reference", what)
+	}
+	a, ok := c.Store.Arrays[av.Name]
+	if !ok {
+		return nil, fmt.Errorf("rt: undefined array %q", av.Name)
+	}
+	return a, nil
+}
+
+func (c *Comm) scalarArg(v nir.Value) (float64, error) {
+	val, _, err := Eval(v, &EvalCtx{Store: c.Store})
+	return val, err
+}
+
+func (c *Comm) targetArray(tgt nir.Value) (*Array, error) {
+	av, ok := tgt.(nir.AVar)
+	if !ok {
+		return nil, fmt.Errorf("rt: intrinsic target must be an array")
+	}
+	a, ok := c.Store.Arrays[av.Name]
+	if !ok {
+		return nil, fmt.Errorf("rt: undefined array %q", av.Name)
+	}
+	return a, nil
+}
+
+func (c *Comm) execIntrinsic(fc nir.FcnCall, tgt nir.Value) error {
+	switch fc.Name {
+	case "cm_cshift", "cm_eoshift":
+		return c.execShift(fc, tgt)
+	case "cm_reduce_sum", "cm_reduce_product", "cm_reduce_max", "cm_reduce_min",
+		"cm_reduce_any", "cm_reduce_all", "cm_reduce_count":
+		return c.execReduce(fc, tgt)
+	case "cm_transpose":
+		return c.execTranspose(fc, tgt)
+	case "cm_spread":
+		return c.execSpread(fc, tgt)
+	case "cm_dot":
+		return c.execDot(fc, tgt)
+	}
+	return fmt.Errorf("rt: unknown runtime intrinsic %q", fc.Name)
+}
+
+// execShift implements circular and end-off grid shifts over the NEWS
+// network.
+func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
+	src, err := c.arrayArg(fc.Args[0], fc.Name)
+	if err != nil {
+		return err
+	}
+	shiftF, err := c.scalarArg(fc.Args[1])
+	if err != nil {
+		return err
+	}
+	shift := int(shiftF)
+	circular := fc.Name == "cm_cshift"
+	boundary := 0.0
+	dimArgIdx := 2
+	if !circular {
+		boundary, err = c.scalarArg(fc.Args[2])
+		if err != nil {
+			return err
+		}
+		dimArgIdx = 3
+	}
+	dimF, err := c.scalarArg(fc.Args[dimArgIdx])
+	if err != nil {
+		return err
+	}
+	dim := int(dimF)
+	out, err := c.targetArray(tgt)
+	if err != nil {
+		return err
+	}
+	if out.Size() != src.Size() {
+		return fmt.Errorf("rt: shift target size mismatch")
+	}
+
+	d := dim - 1
+	if d < 0 || d >= src.Rank() {
+		return fmt.Errorf("rt: shift dim %d out of range", dim)
+	}
+	n := src.Ext[d]
+	strideBelow := 1
+	for k := 0; k < d; k++ {
+		strideBelow *= src.Ext[k]
+	}
+	tmp := make([]float64, src.Size())
+	for off := range tmp {
+		i := (off / strideBelow) % n
+		j := i + shift
+		if circular {
+			j = ((j % n) + n) % n
+		} else if j < 0 || j >= n {
+			tmp[off] = boundary
+			continue
+		}
+		tmp[off] = src.Data[off+(j-i)*strideBelow]
+	}
+	copy(out.Data, tmp)
+
+	// Cost: local block rotate plus wire traffic for boundary-crossing
+	// elements, one charge per PE-grid step travelled.
+	l := c.layoutOf(src)
+	sub := float64(l.SubgridSize())
+	hops := math.Abs(float64(shift))
+	c.Cycles += c.Cost.GridStartup + sub*c.Cost.GridLocal + sub*l.OffPEFraction(d)*c.Cost.GridWire*hops
+	return nil
+}
+
+func (c *Comm) execReduce(fc nir.FcnCall, tgt nir.Value) error {
+	src, err := c.arrayArg(fc.Args[0], fc.Name)
+	if err != nil {
+		return err
+	}
+	var acc float64
+	switch fc.Name {
+	case "cm_reduce_sum":
+		for _, v := range src.Data {
+			acc += v
+		}
+	case "cm_reduce_product":
+		acc = 1
+		for _, v := range src.Data {
+			acc *= v
+		}
+		if src.Kind == nir.Integer32 {
+			acc = math.Trunc(acc)
+		}
+	case "cm_reduce_any":
+		for _, v := range src.Data {
+			if v != 0 {
+				acc = 1
+				break
+			}
+		}
+	case "cm_reduce_all":
+		acc = 1
+		for _, v := range src.Data {
+			if v == 0 {
+				acc = 0
+				break
+			}
+		}
+	case "cm_reduce_count":
+		for _, v := range src.Data {
+			if v != 0 {
+				acc++
+			}
+		}
+	case "cm_reduce_max":
+		acc = math.Inf(-1)
+		for _, v := range src.Data {
+			acc = math.Max(acc, v)
+		}
+	case "cm_reduce_min":
+		acc = math.Inf(1)
+		for _, v := range src.Data {
+			acc = math.Min(acc, v)
+		}
+	}
+	sv, ok := tgt.(nir.SVar)
+	if !ok {
+		return fmt.Errorf("rt: reduction target must be scalar")
+	}
+	c.Store.SetScalar(sv.Name, acc)
+
+	l := c.layoutOf(src)
+	c.Cycles += c.Cost.ReduceStartup + float64(l.SubgridSize())*c.Cost.ReducePerElem +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return nil
+}
+
+func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
+	src, err := c.arrayArg(fc.Args[0], "cm_transpose")
+	if err != nil {
+		return err
+	}
+	out, err := c.targetArray(tgt)
+	if err != nil {
+		return err
+	}
+	if src.Rank() != 2 || out.Size() != src.Size() {
+		return fmt.Errorf("rt: transpose shape mismatch")
+	}
+	r, cl := src.Ext[0], src.Ext[1]
+	for j := 0; j < cl; j++ {
+		for i := 0; i < r; i++ {
+			out.Data[j+i*cl] = src.Data[i+j*r]
+		}
+	}
+	l := c.layoutOf(src)
+	c.Cycles += c.Cost.RouterStartup + float64(l.SubgridSize())*c.Cost.RouterPerElem
+	return nil
+}
+
+func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
+	dimF, err := c.scalarArg(fc.Args[1])
+	if err != nil {
+		return err
+	}
+	dim := int(dimF)
+	out, err := c.targetArray(tgt)
+	if err != nil {
+		return err
+	}
+
+	var srcData []float64
+	var srcExt, srcLo []int
+	switch a := fc.Args[0].(type) {
+	case nir.AVar:
+		arr, err := c.arrayArg(a, "cm_spread")
+		if err != nil {
+			return err
+		}
+		srcData, srcExt, srcLo = arr.Data, arr.Ext, arr.Lo
+	default:
+		v, err := c.scalarArg(fc.Args[0])
+		if err != nil {
+			return err
+		}
+		srcData = []float64{v}
+	}
+	_ = srcLo
+	// Walk the output; drop the spread dimension to find the source
+	// element.
+	idx := make([]int, out.Rank())
+	for off := 0; off < out.Size(); off++ {
+		sOff, stride := 0, 1
+		k := 0
+		for d := 0; d < out.Rank(); d++ {
+			if d == dim-1 {
+				continue
+			}
+			if k < len(srcExt) {
+				sOff += idx[d] * stride
+				stride *= srcExt[k]
+				k++
+			}
+		}
+		if len(srcData) == 1 {
+			sOff = 0
+		}
+		out.Data[off] = srcData[sOff]
+		for d := 0; d < out.Rank(); d++ {
+			idx[d]++
+			if idx[d] < out.Ext[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	l := c.layoutOf(out)
+	c.Cycles += c.Cost.GridStartup + float64(l.SubgridSize())*c.Cost.GridLocal +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return nil
+}
+
+func (c *Comm) execDot(fc nir.FcnCall, tgt nir.Value) error {
+	a, err := c.arrayArg(fc.Args[0], "cm_dot")
+	if err != nil {
+		return err
+	}
+	b, err := c.arrayArg(fc.Args[1], "cm_dot")
+	if err != nil {
+		return err
+	}
+	if a.Size() != b.Size() {
+		return fmt.Errorf("rt: dot_product size mismatch")
+	}
+	acc := 0.0
+	if a.Kind == nir.Integer32 && b.Kind == nir.Integer32 {
+		for i := range a.Data {
+			acc += math.Trunc(a.Data[i]) * math.Trunc(b.Data[i])
+		}
+	} else {
+		for i := range a.Data {
+			acc += a.Data[i] * b.Data[i]
+		}
+	}
+	sv, ok := tgt.(nir.SVar)
+	if !ok {
+		return fmt.Errorf("rt: dot_product target must be scalar")
+	}
+	c.Store.SetScalar(sv.Name, acc)
+	l := c.layoutOf(a)
+	c.Cycles += c.Cost.ReduceStartup + float64(l.SubgridSize())*(c.Cost.GridLocal+c.Cost.ReducePerElem) +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return nil
+}

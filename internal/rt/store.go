@@ -1,0 +1,123 @@
+// Package rt implements the CM runtime system substrate (§2.2, §5.2): CM
+// array storage with blockwise geometry, the communication library the
+// front end calls for grid shifts, general routing, and reductions, and a
+// calibrated communication cost model. Under the slicewise model
+// "interprocessor communication ... is in general no faster than in the
+// previous programming model": communication is charged per element moved,
+// with microcoded grid shifts far cheaper than the general router.
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"f90y/internal/lower"
+	"f90y/internal/nir"
+	"f90y/internal/shape"
+)
+
+// Array is one CM array: flat column-major float64 storage (the Weitek
+// datapath is 64-bit; integers and logicals travel in f64 lanes exactly).
+type Array struct {
+	Kind nir.ScalarKind
+	Ext  []int
+	Lo   []int
+	Data []float64
+}
+
+// NewArray allocates a zeroed CM array for a shape.
+func NewArray(kind nir.ScalarKind, s shape.Shape) *Array {
+	ext := shape.Extents(s)
+	lo := shape.Lowers(s)
+	n := 1
+	for _, e := range ext {
+		n *= e
+	}
+	return &Array{Kind: kind, Ext: append([]int(nil), ext...), Lo: append([]int(nil), lo...), Data: make([]float64, n)}
+}
+
+// Size is the element count.
+func (a *Array) Size() int { return len(a.Data) }
+
+// Rank is the dimension count.
+func (a *Array) Rank() int { return len(a.Ext) }
+
+// Offset maps declared-space indexes to the storage offset.
+func (a *Array) Offset(idx []int) (int, error) {
+	off, stride := 0, 1
+	for d := range a.Ext {
+		i := idx[d] - a.Lo[d]
+		if i < 0 || i >= a.Ext[d] {
+			return 0, fmt.Errorf("rt: subscript %d out of bounds in dimension %d of extent %d", idx[d], d+1, a.Ext[d])
+		}
+		off += i * stride
+		stride *= a.Ext[d]
+	}
+	return off, nil
+}
+
+// Coord returns the declared-space coordinate along dim (1-based) of the
+// element at storage offset off.
+func (a *Array) Coord(off, dim int) int {
+	stride := 1
+	for d := 0; d < dim-1; d++ {
+		stride *= a.Ext[d]
+	}
+	return a.Lo[dim-1] + (off/stride)%a.Ext[dim-1]
+}
+
+// StoreVal writes v with the array's kind semantics (integers truncate).
+func (a *Array) StoreVal(off int, v float64) {
+	if a.Kind == nir.Integer32 {
+		v = math.Trunc(v)
+	}
+	a.Data[off] = v
+}
+
+// Store holds all front-end scalars and CM arrays of a running program.
+type Store struct {
+	Arrays  map[string]*Array
+	Scalars map[string]float64
+	Kinds   map[string]nir.ScalarKind
+}
+
+// NewStore allocates storage for every non-PARAMETER symbol.
+func NewStore(syms *lower.SymTab) *Store {
+	st := &Store{Arrays: map[string]*Array{}, Scalars: map[string]float64{}, Kinds: map[string]nir.ScalarKind{}}
+	for _, sym := range syms.All() {
+		if sym.Param {
+			continue
+		}
+		st.Kinds[sym.Name] = sym.Kind
+		if sym.Shape == nil {
+			st.Scalars[sym.Name] = 0
+			continue
+		}
+		st.Arrays[sym.Name] = NewArray(sym.Kind, sym.Shape)
+	}
+	return st
+}
+
+// SetScalar writes a scalar with kind semantics.
+func (st *Store) SetScalar(name string, v float64) {
+	if st.Kinds[name] == nir.Integer32 {
+		v = math.Trunc(v)
+	}
+	st.Scalars[name] = v
+}
+
+// FormatVal renders a value the way the reference interpreter prints it,
+// so compiled and interpreted PRINT output can be compared byte-for-byte.
+func FormatVal(kind nir.ScalarKind, v float64) string {
+	switch kind {
+	case nir.Integer32:
+		return fmt.Sprintf("%d", int64(v))
+	case nir.Logical32:
+		if v != 0 {
+			return "T"
+		}
+		return "F"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

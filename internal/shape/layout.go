@@ -1,0 +1,100 @@
+package shape
+
+// Layout describes the blockwise assignment of a shape's points to a
+// machine's processing elements, the policy the paper's prototype
+// delegates to the CM runtime system (§3.3: "laid out blockwise to the CM
+// processing elements"). Each PE owns a rectangular subgrid; all PEs'
+// subgrids tile the shape exactly (edge PEs may own smaller blocks).
+type Layout struct {
+	Extents []int // shape extents per dimension
+	PEDims  []int // PEs assigned along each dimension (product = PEs used)
+	Block   []int // nominal subgrid extent per dimension (ceil division)
+	PEs     int   // total PEs in the machine
+}
+
+// Blockwise computes a block layout of s over a machine with pes
+// processing elements. pes must be a power of two (hypercube machine).
+// Factors of the PE count are assigned greedily to the dimension whose
+// per-PE block is currently largest, mirroring the CM runtime's grid
+// geometry heuristic.
+func Blockwise(s Shape, pes int) Layout {
+	ext := Extents(s)
+	if len(ext) == 0 {
+		ext = []int{1}
+	}
+	pd := make([]int, len(ext))
+	for i := range pd {
+		pd[i] = 1
+	}
+	remaining := pes
+	for remaining > 1 {
+		// Find the dimension with the largest current block that can
+		// still be split (block > 1).
+		best, bestBlock := -1, 0
+		for i := range ext {
+			b := ceilDiv(ext[i], pd[i])
+			if b > bestBlock && b > 1 {
+				best, bestBlock = i, b
+			}
+		}
+		if best < 0 {
+			break // shape smaller than machine; leave remaining PEs idle
+		}
+		pd[best] *= 2
+		remaining /= 2
+	}
+	block := make([]int, len(ext))
+	for i := range ext {
+		block[i] = ceilDiv(ext[i], pd[i])
+	}
+	return Layout{Extents: ext, PEDims: pd, Block: block, PEs: pes}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// PEsUsed is the number of PEs that own at least one point.
+func (l Layout) PEsUsed() int {
+	n := 1
+	for i := range l.PEDims {
+		n *= min(l.PEDims[i], ceilDiv(l.Extents[i], max(l.Block[i], 1)))
+	}
+	return n
+}
+
+// SubgridSize is the number of points in the largest per-PE subgrid — the
+// virtual-subgrid loop trip count of §5.2 (before vector widening).
+func (l Layout) SubgridSize() int {
+	n := 1
+	for _, b := range l.Block {
+		n *= b
+	}
+	return n
+}
+
+// VPRatio is the virtual-processor ratio: total points divided by PEs
+// used, i.e. the average work per processor.
+func (l Layout) VPRatio() float64 {
+	total := 1
+	for _, e := range l.Extents {
+		total *= e
+	}
+	used := l.PEsUsed()
+	if used == 0 {
+		return 0
+	}
+	return float64(total) / float64(used)
+}
+
+// OffPEFraction estimates, for a unit circular shift along dim, the
+// fraction of elements whose neighbour lives on a different PE: 1/block
+// along that dimension (1.0 when the block is a single element). This
+// drives the grid-communication cost model.
+func (l Layout) OffPEFraction(dim int) float64 {
+	if dim < 0 || dim >= len(l.Block) || l.Block[dim] == 0 {
+		return 1
+	}
+	if l.PEDims[dim] == 1 {
+		return 0 // whole dimension lives on one PE: pure local rotate
+	}
+	return 1 / float64(l.Block[dim])
+}
