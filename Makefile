@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check vet build test race smoke bench clean
+
+# check is the tier-1 gate (see ROADMAP.md): static analysis, a full
+# build, the race-enabled test suite, and a machine-readable benchmark
+# smoke run.
+check: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the paper-scale §6 reproduction (~1 min).
+test:
+	$(GO) test ./...
+
+# Race-enabled suite; -short skips the paper-scale run.
+race:
+	$(GO) test -race -short ./...
+
+# Smoke-test the f90y-bench/v1 JSON writer end to end.
+smoke:
+	$(GO) run ./cmd/swebench -json -n 128 -steps 2 -o .bench-smoke.json
+	rm -f .bench-smoke.json
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	rm -f BENCH_*.json .bench-smoke.json

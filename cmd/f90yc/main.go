@@ -6,9 +6,18 @@
 //
 //	f90yc [flags] file.f90
 //
-//	-dump ast|nir|opt|peac|host|stats   what to print (default peac)
+//	-dump ast|nir|opt|peac|host|stats|none  what to print (default peac)
 //	-O                                   optimization level (default true)
 //	-pe naive|optimized                  PE code generator level
+//	-v                                   print the phase/counter report to stderr
+//	-metrics                             run the program, print the full report
+//	-trace out.json                      run the program, write a Chrome trace
+//
+// -metrics and -trace execute the compiled program on the modeled CM/2
+// so the report and trace include the "exec" span and the cycle
+// attribution counters; the trace file loads in chrome://tracing or
+// ui.perfetto.dev. When any of -v/-metrics/-trace is given, -dump
+// defaults to none.
 package main
 
 import (
@@ -20,14 +29,18 @@ import (
 	"f90y/internal/ast"
 	"f90y/internal/fe"
 	"f90y/internal/nir"
+	"f90y/internal/obs"
 	"f90y/internal/opt"
 	"f90y/internal/pe"
 )
 
 var (
-	flagDump = flag.String("dump", "peac", "dump: ast, nir, opt, peac, host, stats")
-	flagO    = flag.Bool("O", true, "enable the NIR shape transformations (blocking, padding)")
-	flagPE   = flag.String("pe", "optimized", "PE code generator: naive or optimized")
+	flagDump    = flag.String("dump", "peac", "dump: ast, nir, opt, peac, host, stats, none")
+	flagO       = flag.Bool("O", true, "enable the NIR shape transformations (blocking, padding)")
+	flagPE      = flag.String("pe", "optimized", "PE code generator: naive or optimized")
+	flagV       = flag.Bool("v", false, "print the compilation phase/counter report to stderr")
+	flagMetrics = flag.Bool("metrics", false, "run the program and print the full telemetry report")
+	flagTrace   = flag.String("trace", "", "run the program and write a Chrome trace_event JSON file")
 )
 
 func main() {
@@ -51,13 +64,43 @@ func main() {
 		cfg.PE = pe.Naive
 	}
 
+	// Telemetry requests share one collector; stats dumps render from it
+	// too, so there is a single formatting path for phase statistics.
+	wantObs := *flagV || *flagMetrics || *flagTrace != "" || *flagDump == "stats"
+	var col *obs.Collector
+	if wantObs {
+		col = obs.NewCollector()
+		cfg.Obs = col
+	}
+
+	// Telemetry flags change the default output from a peac dump to none;
+	// an explicit -dump still wins.
+	dump := *flagDump
+	if (*flagV || *flagMetrics || *flagTrace != "") && !dumpSetExplicitly() {
+		dump = "none"
+	}
+
 	comp, err := f90y.Compile(file, string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	switch *flagDump {
+	// -metrics/-trace execute the program so the report and trace carry
+	// the exec span and cycle attribution.
+	if *flagMetrics || *flagTrace != "" {
+		res, err := comp.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yc:", err)
+			os.Exit(1)
+		}
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+	}
+
+	switch dump {
+	case "none":
 	case "ast":
 		fmt.Print(ast.Format(comp.AST))
 	case "nir":
@@ -72,19 +115,44 @@ func main() {
 	case "host":
 		printHost(comp.Program.Ops, 0)
 	case "stats":
-		fmt.Printf("optimizer: %d padded, %d fused, %d comms hoisted\n",
-			comp.OptStats.PaddedMoves, comp.OptStats.FusedMoves, comp.OptStats.HoistedComms)
-		fmt.Printf("partition: %d node routines, %d comm calls, %d host moves, %d fallbacks\n",
-			comp.PartStats.NodeRoutines, comp.PartStats.CommCalls,
-			comp.PartStats.HostMoves, comp.PartStats.Fallbacks)
-		for _, r := range comp.Program.Routines {
-			fmt.Printf("routine %s: %d instrs, %d issue slots, %d spill slots, %d flops/iter\n",
-				r.Name, r.InstrCount(), r.IssueSlots(), r.SpillSlots, r.FlopsPerIteration())
-		}
+		fmt.Print(col.Report())
 	default:
-		fmt.Fprintf(os.Stderr, "f90yc: unknown dump %q\n", *flagDump)
+		fmt.Fprintf(os.Stderr, "f90yc: unknown dump %q\n", dump)
 		os.Exit(2)
 	}
+
+	if *flagMetrics {
+		fmt.Print(col.Report())
+	} else if *flagV && dump != "stats" {
+		fmt.Fprint(os.Stderr, col.Report())
+	}
+	if *flagTrace != "" {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yc:", err)
+			os.Exit(1)
+		}
+		if err := col.WriteTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yc:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *flagTrace)
+	}
+}
+
+func dumpSetExplicitly() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dump" {
+			set = true
+		}
+	})
+	return set
 }
 
 func printHost(ops []fe.Op, depth int) {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] file.f90
+//	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json] file.f90
 //
 // With -verify the result is also checked elementwise against the
-// reference interpreter.
+// reference interpreter. -metrics prints the phase/counter telemetry
+// report (compile spans plus execution cycle attribution) to stderr;
+// -trace writes the same telemetry as Chrome trace_event JSON.
 package main
 
 import (
@@ -20,13 +22,16 @@ import (
 	"f90y"
 	"f90y/internal/cm5"
 	"f90y/internal/interp"
+	"f90y/internal/obs"
 	"f90y/internal/rt"
 )
 
 var (
-	flagTarget = flag.String("target", "cm2", "target machine: cm2 or cm5")
-	flagPEs    = flag.Int("pes", 2048, "processing elements (cm2 target)")
-	flagVerify = flag.Bool("verify", false, "check results against the reference interpreter")
+	flagTarget  = flag.String("target", "cm2", "target machine: cm2 or cm5")
+	flagPEs     = flag.Int("pes", 2048, "processing elements (cm2 target)")
+	flagVerify  = flag.Bool("verify", false, "check results against the reference interpreter")
+	flagMetrics = flag.Bool("metrics", false, "print the telemetry report to stderr")
+	flagTrace   = flag.String("trace", "", "write a Chrome trace_event JSON file")
 )
 
 func main() {
@@ -44,6 +49,11 @@ func main() {
 
 	cfg := f90y.DefaultConfig()
 	cfg.Machine.PEs = *flagPEs
+	var col *obs.Collector
+	if *flagMetrics || *flagTrace != "" {
+		col = obs.NewCollector()
+		cfg.Obs = col
+	}
 	comp, err := f90y.Compile(file, string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -70,7 +80,9 @@ func main() {
 		}
 	case "cm5":
 		m := cm5.Default()
-		res, err := m.Run(comp.Program)
+		span := obs.Start(cfg.Obs, "exec")
+		res, err := m.RunObs(comp.Program, cfg.Obs)
+		span.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "f90yrun:", err)
 			os.Exit(1)
@@ -91,6 +103,26 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Fprintln(os.Stderr, report)
+	if *flagMetrics {
+		fmt.Fprint(os.Stderr, col.Report())
+	}
+	if *flagTrace != "" {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yrun:", err)
+			os.Exit(1)
+		}
+		if err := col.WriteTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *flagTrace)
+	}
 }
 
 // verify re-runs the program under the reference interpreter and compares

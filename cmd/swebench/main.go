@@ -5,6 +5,12 @@
 // Usage:
 //
 //	swebench [-n 1024] [-steps 4] [-experiment e1|e2|e3|e4|e5|e6|e7|all]
+//	swebench -json [-o BENCH_swe.json] [-n 1024] [-steps 4]
+//
+// With -json the SWE benchmark runs once with full telemetry and a
+// machine-readable record (schema "f90y-bench/v1", see json.go) is
+// written to -o (default BENCH_swe_n<N>_s<steps>.json); the output path
+// is printed to stdout.
 package main
 
 import (
@@ -28,10 +34,20 @@ var (
 	flagN     = flag.Int("n", 1024, "SWE grid edge")
 	flagSteps = flag.Int("steps", 4, "SWE time steps")
 	flagExp   = flag.String("experiment", "all", "experiment id: e1..e7 or all")
+	flagJSON  = flag.Bool("json", false, "write a machine-readable benchmark record instead of tables")
+	flagOut   = flag.String("o", "", "output path for -json (default BENCH_swe_n<N>_s<steps>.json)")
 )
 
 func main() {
 	flag.Parse()
+	if *flagJSON {
+		path := *flagOut
+		if path == "" {
+			path = fmt.Sprintf("BENCH_swe_n%d_s%d.json", *flagN, *flagSteps)
+		}
+		writeJSON(path)
+		return
+	}
 	exps := map[string]func(){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6, "e7": e7,
 	}

@@ -1,0 +1,64 @@
+program swe
+integer, parameter :: n = 64
+integer, parameter :: itmax = 2
+real, array(n,n) :: u, v, p, unew, vnew, pnew, uold, vold, pold
+real, array(n,n) :: cu, cv, z, h, psi
+real, parameter :: a = 1000000.0
+real, parameter :: dt = 90.0
+real, parameter :: el = n*100000.0
+real :: pi, tpi, di, dj, pcf, dx, dy, fsdx, fsdy, tdt, tdts8, tdtsdx, tdtsdy, alpha
+integer :: ncycle
+pi = 3.14159265359
+tpi = pi + pi
+di = tpi/n
+dj = tpi/n
+dx = 100000.0
+dy = 100000.0
+fsdx = 4.0/dx
+fsdy = 4.0/dy
+alpha = 0.001
+pcf = pi*pi*a*a/(el*el)
+
+! Initial conditions from a stream function.
+forall (i=1:n, j=1:n) psi(i,j) = a*sin((i - 0.5)*di)*sin((j - 0.5)*dj)
+forall (i=1:n, j=1:n) p(i,j) = pcf*(cos(2.0*(i - 1)*di) + cos(2.0*(j - 1)*dj)) + 50000.0
+u = -(cshift(psi, dim=2, shift=1) - psi)*(n/el)*10.0
+v = (cshift(psi, dim=1, shift=1) - psi)*(n/el)*10.0
+uold = u
+vold = v
+pold = p
+tdt = dt
+
+do ncycle = 1, itmax
+  ! Compute capital-U, capital-V, Z and H.
+  cu = 0.5*(p + cshift(p, dim=1, shift=-1))*u
+  cv = 0.5*(p + cshift(p, dim=2, shift=-1))*v
+  z = (fsdx*(v - cshift(v, dim=1, shift=-1)) - fsdy*(u - cshift(u, dim=2, shift=-1))) &
+      / (p + cshift(p, dim=1, shift=-1) + cshift(p, dim=2, shift=-1) &
+         + cshift(cshift(p, dim=1, shift=-1), dim=2, shift=-1))
+  h = p + 0.25*(u*u + cshift(u, dim=1, shift=1)*cshift(u, dim=1, shift=1)) &
+        + 0.25*(v*v + cshift(v, dim=2, shift=1)*cshift(v, dim=2, shift=1))
+
+  tdts8 = tdt/8.0
+  tdtsdx = tdt/dx
+  tdtsdy = tdt/dy
+
+  ! Advance the prognostic fields.
+  unew = uold + tdts8*(z + cshift(z, dim=2, shift=1))*(cv + cshift(cv, dim=1, shift=1) &
+         + cshift(cshift(cv, dim=1, shift=1), dim=2, shift=-1) + cshift(cv, dim=2, shift=-1)) &
+         - tdtsdx*(h - cshift(h, dim=1, shift=-1))
+  vnew = vold - tdts8*(z + cshift(z, dim=1, shift=1))*(cu + cshift(cu, dim=2, shift=1) &
+         + cshift(cshift(cu, dim=1, shift=-1), dim=2, shift=1) + cshift(cu, dim=1, shift=-1)) &
+         - tdtsdy*(h - cshift(h, dim=2, shift=-1))
+  pnew = pold - tdtsdx*(cshift(cu, dim=1, shift=1) - cu) - tdtsdy*(cshift(cv, dim=2, shift=1) - cv)
+
+  ! Robert–Asselin time filter and rotation.
+  uold = u + alpha*(unew - 2.0*u + uold)
+  vold = v + alpha*(vnew - 2.0*v + vold)
+  pold = p + alpha*(pnew - 2.0*p + pold)
+  u = unew
+  v = vnew
+  p = pnew
+  tdt = dt + dt
+end do
+end program swe

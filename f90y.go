@@ -25,11 +25,14 @@ import (
 	"f90y/internal/cm2"
 	"f90y/internal/fe"
 	"f90y/internal/interp"
+	"f90y/internal/lexer"
 	"f90y/internal/lower"
+	"f90y/internal/obs"
 	"f90y/internal/opt"
 	"f90y/internal/parser"
 	"f90y/internal/partition"
 	"f90y/internal/pe"
+	"f90y/internal/source"
 )
 
 // Config selects the optimization level and target machine for a
@@ -43,6 +46,12 @@ type Config struct {
 	// Machine is the simulated target; nil means the default 2,048-PE,
 	// 7 MHz CM/2.
 	Machine *cm2.Machine
+	// Obs receives compilation and execution telemetry: one span per
+	// pipeline phase (lex, parse, lower, each opt pass, partition,
+	// pe-codegen per routine, exec) plus each phase's statistics as
+	// counters. nil disables recording at the cost of one branch per
+	// instrumented call site; use an *obs.Collector to record.
+	Obs obs.Recorder
 }
 
 // DefaultConfig is the fully optimizing Fortran-90-Y configuration.
@@ -60,24 +69,47 @@ type Compilation struct {
 	Program   *fe.Program // partitioned host program + PEAC routines
 	PartStats partition.Stats
 	Machine   *cm2.Machine
+	Obs       obs.Recorder // telemetry sink carried from Config (may be nil)
 }
 
 // Compile runs the front end, semantic lowering, NIR optimization, and
-// CM2/NIR partitioning.
+// CM2/NIR partitioning. When cfg.Obs is set, each phase emits one span
+// (lex, parse, lower, opt/<pass>..., partition with nested pe-codegen
+// spans) and its statistics as counters.
 func Compile(filename, src string, cfg Config) (*Compilation, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = cm2.Default()
 	}
-	tree, err := parser.Parse(filename, src)
+	rec := cfg.Obs
+
+	span := obs.Start(rec, "lex")
+	var rep source.Reporter
+	toks := lexer.Tokens(filename, src, &rep)
+	span.End()
+	obs.Add(rec, "lex/tokens", float64(len(toks)))
+	if rep.HasErrors() {
+		return nil, rep.Err()
+	}
+
+	span = obs.Start(rec, "parse")
+	tree, err := parser.ParseTokens(toks, &rep)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+
+	span = obs.Start(rec, "lower")
 	mod, err := lower.Lower(tree)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
-	omod, ostats := opt.Optimize(mod, cfg.Opt)
-	prog, pstats, err := partition.Compile(omod, cfg.PE)
+
+	omod, ostats := opt.OptimizeObs(mod, cfg.Opt, rec)
+
+	span = obs.Start(rec, "partition")
+	prog, pstats, err := partition.CompileObs(omod, cfg.PE, rec)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +121,17 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 		Program:   prog,
 		PartStats: pstats,
 		Machine:   cfg.Machine,
+		Obs:       rec,
 	}, nil
 }
 
-// Run executes the compiled program on the simulated CM/2.
+// Run executes the compiled program on the simulated CM/2, reporting an
+// "exec" span plus the cycle-attribution counters to the compilation's
+// recorder.
 func (c *Compilation) Run() (*cm2.Result, error) {
-	return c.Machine.Run(c.Program)
+	span := obs.Start(c.Obs, "exec")
+	defer span.End()
+	return c.Machine.RunObs(c.Program, nil, c.Obs)
 }
 
 // Interpret runs a program under the reference interpreter (the oracle):

@@ -17,6 +17,7 @@ import (
 	"f90y/internal/fe"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
+	"f90y/internal/obs"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
 	"f90y/internal/shape"
@@ -61,6 +62,22 @@ type Result struct {
 	NodeCalls  int
 	CommCalls  int
 	ClockHz    float64
+
+	// Cycle attribution (§5.2/§6): each map's values sum exactly to the
+	// corresponding total above.
+	//
+	// PEClassCycles attributes PECycles per PEAC instruction class
+	// (peac.CycleClass names: vector-arith, divide, sqrt, transcend,
+	// load-store, spill, loop).
+	PEClassCycles map[string]float64
+	// PERoutineCycles attributes PECycles per PEAC routine.
+	PERoutineCycles map[string]float64
+	// CommClassCycles attributes CommCycles per runtime network
+	// (rt.CommGrid, rt.CommRouter, rt.CommReduce).
+	CommClassCycles map[string]float64
+	// HostClassCycles attributes HostCycles per front-end activity
+	// (hostvm.HostIssue, HostScalar, HostElem, HostDispatch).
+	HostClassCycles map[string]float64
 }
 
 // TotalCycles is the modeled end-to-end cycle count; host, node, and
@@ -83,18 +100,32 @@ func (r *Result) GFLOPS() float64 {
 
 // Run executes a partitioned program on the machine.
 func (m *Machine) Run(prog *fe.Program) (*Result, error) {
-	store := rt.NewStore(prog.Syms)
-	return m.RunOn(prog, store)
+	return m.RunObs(prog, nil, nil)
 }
 
 // RunOn executes against a caller-prepared store (pre-initialized data).
 func (m *Machine) RunOn(prog *fe.Program, store *rt.Store) (*Result, error) {
+	return m.RunObs(prog, store, nil)
+}
+
+// RunObs executes a partitioned program, reporting telemetry to rec (a
+// nil recorder costs one branch per dispatch). A nil store means a
+// fresh store initialized from the program's symbols.
+func (m *Machine) RunObs(prog *fe.Program, store *rt.Store, rec obs.Recorder) (*Result, error) {
+	if store == nil {
+		store = rt.NewStore(prog.Syms)
+	}
 	comm := &rt.Comm{Store: store, PEs: m.PEs, Cost: m.CommCost}
-	res := &Result{Store: store, ClockHz: m.ClockHz}
+	res := &Result{
+		Store:           store,
+		ClockHz:         m.ClockHz,
+		PEClassCycles:   map[string]float64{},
+		PERoutineCycles: map[string]float64{},
+	}
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res)
+			return m.dispatch(r, over, store, res, rec)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -107,20 +138,62 @@ func (m *Machine) RunOn(prog *fe.Program, store *rt.Store) (*Result, error) {
 	res.HostCycles = vm.Cycles
 	res.CommCycles = comm.Cycles
 	res.CommCalls = comm.Calls
+	res.HostClassCycles = vm.ClassCycles()
+	res.CommClassCycles = map[string]float64{}
+	for _, cl := range rt.CommClasses {
+		res.CommClassCycles[cl] = comm.ClassCycles[cl]
+	}
+	res.emit(rec)
 	return res, nil
+}
+
+// emit reports the execution result as counters.
+func (res *Result) emit(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	obs.Add(rec, "exec/host-cycles", res.HostCycles)
+	obs.Add(rec, "exec/pe-cycles", res.PECycles)
+	obs.Add(rec, "exec/comm-cycles", res.CommCycles)
+	obs.Add(rec, "exec/flops", float64(res.Flops))
+	obs.Add(rec, "exec/node-calls", float64(res.NodeCalls))
+	obs.Add(rec, "exec/comm-calls", float64(res.CommCalls))
+	for cl, v := range res.PEClassCycles {
+		obs.Add(rec, "exec/pe/"+cl, v)
+	}
+	for cl, v := range res.CommClassCycles {
+		obs.Add(rec, "exec/comm/"+cl, v)
+	}
+	for cl, v := range res.HostClassCycles {
+		obs.Add(rec, "exec/host/"+cl, v)
+	}
+	for name, v := range res.PERoutineCycles {
+		obs.Add(rec, "exec/routine/"+name, v)
+	}
 }
 
 // dispatch runs one PEAC routine over its shape, charging the cycle model
 // and executing it functionally over the stored arrays.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result) error {
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder) error {
 	if over == nil {
 		return fmt.Errorf("cm2: node routine %s without a shape", r.Name)
 	}
 	layout := shape.Blockwise(over, m.PEs)
 	sub := layout.SubgridSize()
-	res.PECycles += float64(m.PECost.RoutineCycles(r, sub))
+	cyc := float64(m.PECost.RoutineCycles(r, sub))
+	res.PECycles += cyc
+	res.PERoutineCycles[r.Name] += cyc
 	itersPerPE := (sub + peac.VectorWidth - 1) / peac.VectorWidth
+	if itersPerPE > 0 {
+		byClass := m.PECost.BodyCyclesByClass(r.Body)
+		for cl, n := range byClass {
+			if n != 0 {
+				res.PEClassCycles[peac.CycleClass(cl).String()] += float64(n * itersPerPE)
+			}
+		}
+	}
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
 	res.NodeCalls++
+	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
 	return ExecRoutine(r, over, store)
 }

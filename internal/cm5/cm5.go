@@ -24,6 +24,7 @@ import (
 	"f90y/internal/fe"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
+	"f90y/internal/obs"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
 	"f90y/internal/shape"
@@ -89,11 +90,21 @@ type Result struct {
 // Run executes a partitioned program on the CM-5. The input is the same
 // fe.Program the CM/2 consumes: the front end is target-independent.
 func (m *Machine) Run(prog *fe.Program) (*Result, error) {
+	return m.RunObs(prog, nil)
+}
+
+// RunObs executes a partitioned program, reporting telemetry to rec
+// (which may be nil). The three-way split attributes node cycles to the
+// PEAC instruction classes (vector-unit time) plus a "sparc-issue"
+// class for the node SPARC's block setup.
+func (m *Machine) RunObs(prog *fe.Program, rec obs.Recorder) (*Result, error) {
 	store := rt.NewStore(prog.Syms)
 	comm := &rt.Comm{Store: store, PEs: m.Nodes * m.VUsPerNode, Cost: m.CommCost}
 	res := &Result{}
 	res.Store = store
 	res.ClockHz = m.ClockHz
+	res.PEClassCycles = map[string]float64{}
+	res.PERoutineCycles = map[string]float64{}
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
@@ -111,7 +122,38 @@ func (m *Machine) Run(prog *fe.Program) (*Result, error) {
 	res.CommCycles = comm.Cycles
 	res.CommCalls = comm.Calls
 	res.PECycles = res.VUCycles + res.SPARCCycles
+	res.HostClassCycles = vm.ClassCycles()
+	res.CommClassCycles = map[string]float64{}
+	for _, cl := range rt.CommClasses {
+		res.CommClassCycles[cl] = comm.ClassCycles[cl]
+	}
+	// The SPARC issue time is its own attribution class so the
+	// breakdown sums exactly to PECycles.
+	res.PEClassCycles["sparc-issue"] = res.SPARCCycles
+	res.emitObs(rec)
 	return res, nil
+}
+
+func (res *Result) emitObs(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	obs.Add(rec, "exec/host-cycles", res.HostCycles)
+	obs.Add(rec, "exec/pe-cycles", res.PECycles)
+	obs.Add(rec, "exec/comm-cycles", res.CommCycles)
+	obs.Add(rec, "exec/flops", float64(res.Flops))
+	obs.Add(rec, "exec/node-calls", float64(res.NodeCalls))
+	obs.Add(rec, "exec/sparc-cycles", res.SPARCCycles)
+	obs.Add(rec, "exec/vu-cycles", res.VUCycles)
+	for cl, v := range res.PEClassCycles {
+		obs.Add(rec, "exec/pe/"+cl, v)
+	}
+	for cl, v := range res.CommClassCycles {
+		obs.Add(rec, "exec/comm/"+cl, v)
+	}
+	for cl, v := range res.HostClassCycles {
+		obs.Add(rec, "exec/host/"+cl, v)
+	}
 }
 
 // dispatch is the three-way split's node half: the control processor has
@@ -126,9 +168,20 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	nodeSub := layout.SubgridSize()
 	perVU := (nodeSub + m.VUsPerNode - 1) / m.VUsPerNode
 
-	res.SPARCCycles += m.NodeSetup + float64(len(r.Params))*2
-	res.VUCycles += float64(m.VUCost.RoutineCycles(r, perVU))
+	sparc := m.NodeSetup + float64(len(r.Params))*2
+	vu := float64(m.VUCost.RoutineCycles(r, perVU))
+	res.SPARCCycles += sparc
+	res.VUCycles += vu
+	res.PERoutineCycles[r.Name] += sparc + vu
 	itersPerVU := (perVU + peac.VectorWidth - 1) / peac.VectorWidth
+	if itersPerVU > 0 {
+		byClass := m.VUCost.BodyCyclesByClass(r.Body)
+		for cl, n := range byClass {
+			if n != 0 {
+				res.PEClassCycles[peac.CycleClass(cl).String()] += float64(n * itersPerVU)
+			}
+		}
+	}
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
 	res.NodeCalls++
 	res.PECycles = res.VUCycles + res.SPARCCycles

@@ -44,6 +44,18 @@ type Hooks struct {
 	Comm     func(m nir.Move) error
 }
 
+// Host cycle classes: every front-end charge is attributed to one of
+// these activities, and the class values sum exactly to VM.Cycles.
+const (
+	HostIssue    = "issue"       // fixed decode cost per host operation
+	HostScalar   = "scalar"      // front-end scalar arithmetic
+	HostElem     = "elem-access" // front-end touches of CM array elements
+	HostDispatch = "dispatch"    // IFIFO setup and argument pushes
+)
+
+// HostClasses lists the host cycle classes.
+var HostClasses = []string{HostIssue, HostScalar, HostElem, HostDispatch}
+
 // VM is one host execution.
 type VM struct {
 	Store  *rt.Store
@@ -52,10 +64,34 @@ type VM struct {
 	Cycles float64
 	Output []string
 
+	// Per-class cycle attribution; IssueCycles + ScalarCycles +
+	// ElemCycles + DispatchCycles == Cycles exactly.
+	IssueCycles    float64
+	ScalarCycles   float64
+	ElemCycles     float64
+	DispatchCycles float64
+
 	frames  []frame
 	stopped bool
 	steps   int
 	limit   int
+}
+
+// charge adds cyc to one attribution bucket, keeping Cycles as the
+// re-summed total so the buckets always sum exactly to it.
+func (vm *VM) charge(bucket *float64, cyc float64) {
+	*bucket += cyc
+	vm.Cycles = vm.IssueCycles + vm.ScalarCycles + vm.ElemCycles + vm.DispatchCycles
+}
+
+// ClassCycles returns the per-class attribution keyed by HostClasses.
+func (vm *VM) ClassCycles() map[string]float64 {
+	return map[string]float64{
+		HostIssue:    vm.IssueCycles,
+		HostScalar:   vm.ScalarCycles,
+		HostElem:     vm.ElemCycles,
+		HostDispatch: vm.DispatchCycles,
+	}
 }
 
 type frame struct {
@@ -99,7 +135,7 @@ func (vm *VM) tick() error {
 	if vm.steps > vm.limit {
 		return fmt.Errorf("hostvm: step limit exceeded")
 	}
-	vm.Cycles += vm.Cost.StatementIssued
+	vm.charge(&vm.IssueCycles, vm.Cost.StatementIssued)
 	return nil
 }
 
@@ -125,7 +161,7 @@ func (vm *VM) ctx() *rt.EvalCtx {
 func (vm *VM) eval(v nir.Value) (float64, nir.ScalarKind, error) {
 	c := vm.ctx()
 	val, kind, err := rt.Eval(v, c)
-	vm.Cycles += float64(c.Ops) * vm.Cost.ScalarOp
+	vm.charge(&vm.ScalarCycles, float64(c.Ops)*vm.Cost.ScalarOp)
 	// Front-end touches of CM data are expensive.
 	elems := 0
 	nir.WalkValues(v, func(x nir.Value) {
@@ -133,7 +169,7 @@ func (vm *VM) eval(v nir.Value) (float64, nir.ScalarKind, error) {
 			elems++
 		}
 	})
-	vm.Cycles += float64(elems) * vm.Cost.ElemAccess
+	vm.charge(&vm.ElemCycles, float64(elems)*vm.Cost.ElemAccess)
 	return val, kind, err
 }
 
@@ -145,7 +181,7 @@ func (vm *VM) execOp(op fe.Op) error {
 	case fe.Assign:
 		return vm.assign(op)
 	case fe.CallNode:
-		vm.Cycles += vm.Cost.DispatchStart + float64(len(op.Routine.Params))*vm.Cost.DispatchPerArg
+		vm.charge(&vm.DispatchCycles, vm.Cost.DispatchStart+float64(len(op.Routine.Params))*vm.Cost.DispatchPerArg)
 		return vm.Hooks.Dispatch(op.Routine, op.Over)
 	case fe.Comm:
 		return vm.Hooks.Comm(op.Move)
@@ -243,7 +279,7 @@ func (vm *VM) assign(op fe.Assign) error {
 			return fmt.Errorf("hostvm: %q: %w", tgt.Name, err)
 		}
 		arr.StoreVal(off, val)
-		vm.Cycles += vm.Cost.ElemAccess
+		vm.charge(&vm.ElemCycles, vm.Cost.ElemAccess)
 		return nil
 	}
 	return fmt.Errorf("hostvm: bad assignment target %T", op.Tgt)
@@ -266,7 +302,7 @@ func (vm *VM) print(op fe.Print) error {
 					elems[i] = rt.FormatVal(arr.Kind, v)
 				}
 				parts = append(parts, strings.Join(elems, " "))
-				vm.Cycles += float64(arr.Size()) * vm.Cost.ElemAccess
+				vm.charge(&vm.ElemCycles, float64(arr.Size())*vm.Cost.ElemAccess)
 				continue
 			}
 			v, kind, err := vm.eval(a)

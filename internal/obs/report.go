@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report renders the collector as a fixed-width text table: phases
+// (spans) in start order with nesting shown by indentation, counters in
+// sorted order, then histograms. It is the one formatting path shared by
+// f90yc -v, f90yc -metrics, and f90yrun -metrics.
+func (c *Collector) Report() string {
+	spans := c.Spans()
+	counters := c.Counters()
+	hists := c.Histograms()
+
+	var b strings.Builder
+	if len(spans) > 0 {
+		b.WriteString("phases:\n")
+		// Nesting depth: a span is a child of every earlier span whose
+		// interval contains it (spans are opened and closed in LIFO
+		// order within the single-threaded pipeline). An open span's
+		// end is treated as infinity.
+		end := func(r SpanRec) time.Duration {
+			if r.End == 0 {
+				return 1 << 62
+			}
+			return r.End
+		}
+		for i, s := range spans {
+			depth := 0
+			for j := 0; j < i; j++ {
+				p := spans[j]
+				if p.Start <= s.Start && end(p) > s.Start && end(p) >= end(s) {
+					depth++
+				}
+			}
+			name := strings.Repeat("  ", depth) + s.Name
+			if s.End == 0 {
+				fmt.Fprintf(&b, "  %-32s (open)\n", name)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-32s %12.0fµs\n", name, float64(s.Dur().Microseconds()))
+		}
+	}
+	if len(counters) > 0 {
+		b.WriteString("counters:\n")
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %s\n", k, formatCount(counters[k]))
+		}
+	}
+	if len(hists) > 0 {
+		b.WriteString("histograms:\n")
+		keys := make([]string, 0, len(hists))
+		for k := range hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := hists[k]
+			fmt.Fprintf(&b, "  %-40s n=%d min=%s max=%s mean=%s\n",
+				k, h.Count, formatCount(h.Min), formatCount(h.Max), formatCount(h.Mean()))
+		}
+	}
+	return b.String()
+}
+
+// formatCount prints integers without a fraction and everything else
+// with a short fixed precision.
+func formatCount(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace_event record. The format is documented
+// in the Trace Event Format spec; "X" is a complete event (ts + dur),
+// "C" a counter sample, "M" process/thread metadata. Timestamps are in
+// microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the collector as Chrome trace_event JSON: every
+// span becomes a complete ("X") event — nested phases nest in the
+// timeline — and every counter becomes a counter ("C") sample at the
+// end of the trace. Load the output at chrome://tracing or
+// https://ui.perfetto.dev.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	spans := c.Spans()
+	counters := c.Counters()
+
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "f90y"},
+	})
+
+	var last float64
+	for _, s := range spans {
+		ts := float64(s.Start.Nanoseconds()) / 1e3
+		dur := float64(s.Dur().Nanoseconds()) / 1e3
+		if end := ts + dur; end > last {
+			last = end
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: s.Name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: 1,
+		})
+	}
+
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: k, Ph: "C", Ts: last, Pid: 1, Tid: 1,
+			Args: map[string]any{"value": counters[k]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}

@@ -98,18 +98,6 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// Optimize runs the NIR transformation stage over a module, returning the
-// rewritten module (Body and Prog replaced) and statistics. The input
-// module is not modified.
-func Optimize(mod *lower.Module, opts Options) (*lower.Module, Stats) {
-	o := &optimizer{cls: &Classifier{Syms: mod.Syms}, opts: opts}
-	body := o.rewrite(mod.Body)
-	out := *mod
-	out.Body = body
-	out.Prog = replaceBody(mod.Prog, body)
-	return &out, o.stats
-}
-
 // replaceBody substitutes the executable action inside the
 // PROGRAM/WITH_DOMAIN/WITH_DECL wrapper chain.
 func replaceBody(prog nir.Imp, body nir.Imp) nir.Imp {
@@ -252,14 +240,9 @@ func (o *optimizer) blockList(list []nir.Imp) nir.Imp {
 			}
 		}
 		if cl == Compute {
+			// Section padding has already run as its own pass
+			// (pad-sections); compute moves arrive here in final form.
 			m := a.(nir.Move)
-			if o.opts.PadSections {
-				if padded, did := o.cls.PadMove(m); did {
-					m = padded
-					o.stats.PaddedMoves++
-					r, w = nir.Reads(m), nir.Writes(m)
-				}
-			}
 			if o.opts.BlockDomains {
 				for i := len(blocks) - 1; i >= 0; i-- {
 					b := blocks[i]

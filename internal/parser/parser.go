@@ -31,7 +31,14 @@ func Parse(file, src string) (*ast.Program, error) {
 	if rep.HasErrors() {
 		return nil, rep.Err()
 	}
-	p := &Parser{toks: toks, rep: &rep}
+	return ParseTokens(toks, &rep)
+}
+
+// ParseTokens parses a pre-lexed token stream (as produced by
+// lexer.Tokens); callers that time the phases separately lex first and
+// hand the tokens here.
+func ParseTokens(toks []lexer.Token, rep *source.Reporter) (*ast.Program, error) {
+	p := &Parser{toks: toks, rep: rep}
 	prog := p.parseProgram()
 	if rep.HasErrors() {
 		return nil, rep.Err()

@@ -14,6 +14,7 @@ import (
 	"f90y/internal/fe"
 	"f90y/internal/lower"
 	"f90y/internal/nir"
+	"f90y/internal/obs"
 	"f90y/internal/opt"
 	"f90y/internal/pe"
 	"f90y/internal/peac"
@@ -32,15 +33,27 @@ type Stats struct {
 // node procedures. peOpts selects the PE/NIR compiler's optimization
 // level (pe.Optimized or pe.Naive, or any ablation in between).
 func Compile(mod *lower.Module, peOpts pe.Options) (*fe.Program, Stats, error) {
+	return CompileObs(mod, peOpts, nil)
+}
+
+// CompileObs is Compile with telemetry: every PE/NIR compilation emits
+// one "pe-codegen" span plus per-routine size counters, and the
+// partition statistics are emitted as counters. rec may be nil.
+func CompileObs(mod *lower.Module, peOpts pe.Options, rec obs.Recorder) (*fe.Program, Stats, error) {
 	p := &partitioner{
 		cls:    &opt.Classifier{Syms: mod.Syms},
 		syms:   mod.Syms,
 		peOpts: peOpts,
+		rec:    rec,
 	}
 	ops, err := p.ops(mod.Body)
 	if err != nil {
 		return nil, p.stats, err
 	}
+	obs.Add(rec, "partition/node-routines", float64(p.stats.NodeRoutines))
+	obs.Add(rec, "partition/comm-calls", float64(p.stats.CommCalls))
+	obs.Add(rec, "partition/host-moves", float64(p.stats.HostMoves))
+	obs.Add(rec, "partition/fallbacks", float64(p.stats.Fallbacks))
 	prog := &fe.Program{Name: mod.Name, Ops: ops, Routines: p.routines, Syms: mod.Syms}
 	return prog, p.stats, nil
 }
@@ -52,6 +65,7 @@ type partitioner struct {
 	routines []*peac.Routine
 	stats    Stats
 	nextID   int
+	rec      obs.Recorder
 }
 
 func (p *partitioner) ops(a nir.Imp) ([]fe.Op, error) {
@@ -125,7 +139,9 @@ func (p *partitioner) move(m nir.Move) ([]fe.Op, error) {
 	case opt.Compute:
 		name := fmt.Sprintf("Pk%d", p.nextID)
 		p.nextID++
+		span := obs.Start(p.rec, "pe-codegen")
 		r, err := pe.Compile(name, m, p.syms, p.peOpts)
+		span.End()
 		if err != nil {
 			// The PE/NIR compiler accepts a restricted language (§5.2);
 			// anything outside it falls back to the host/router path.
@@ -135,6 +151,10 @@ func (p *partitioner) move(m nir.Move) ([]fe.Op, error) {
 		}
 		p.stats.NodeRoutines++
 		p.routines = append(p.routines, r)
+		obs.Add(p.rec, "pe/"+r.Name+"/instrs", float64(r.InstrCount()))
+		obs.Add(p.rec, "pe/"+r.Name+"/issue-slots", float64(r.IssueSlots()))
+		obs.Add(p.rec, "pe/"+r.Name+"/spill-slots", float64(r.SpillSlots))
+		obs.Add(p.rec, "pe/"+r.Name+"/flops-per-iter", float64(r.FlopsPerIteration()))
 		return []fe.Op{fe.CallNode{Routine: r, Over: m.Over}}, nil
 	case opt.Comm:
 		p.stats.CommCalls++

@@ -1,0 +1,99 @@
+package peac
+
+// CycleClass partitions PEAC instructions for cycle attribution: the
+// §5.2/§6 analysis reasons about vector arithmetic, microcoded divides
+// and transcendentals, memory traffic, spill/restore pairs, and loop
+// control as separate budgets, so the simulator reports them as
+// separate counters that sum exactly to the total PE cycle count.
+type CycleClass int
+
+// Cycle classes.
+const (
+	// ClassVector covers the single-issue vector datapath: add/sub/mul,
+	// min/max, fmadd/fmsub, moves, compares, masks, and selects.
+	ClassVector CycleClass = iota
+	// ClassDivide covers microcoded divides and mods.
+	ClassDivide
+	// ClassSqrt covers microcoded square roots.
+	ClassSqrt
+	// ClassTranscend covers microcoded transcendentals (sin, cos, tan,
+	// exp, log).
+	ClassTranscend
+	// ClassMemory covers vector loads and stores of array subgrids.
+	ClassMemory
+	// ClassSpill covers allocator-generated spill stores and restores.
+	ClassSpill
+	// ClassLoop covers the loop-control jnz.
+	ClassLoop
+
+	// NumCycleClasses is the number of cycle classes.
+	NumCycleClasses
+)
+
+var classNames = [NumCycleClasses]string{
+	"vector-arith", "divide", "sqrt", "transcend", "load-store", "spill", "loop",
+}
+
+func (c CycleClass) String() string {
+	if c < 0 || c >= NumCycleClasses {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// ClassOf assigns one instruction to its cycle class.
+func ClassOf(i Instr) CycleClass {
+	switch i.Op {
+	case FLODV, FSTRV:
+		return ClassMemory
+	case SPILLV, RESTV:
+		return ClassSpill
+	case FDIVV, FMODV:
+		return ClassDivide
+	case FSQRTV:
+		return ClassSqrt
+	case FSINV, FCOSV, FTANV, FEXPV, FLOGV:
+		return ClassTranscend
+	case JNZ:
+		return ClassLoop
+	}
+	return ClassVector
+}
+
+// ClassCycles is a per-class cycle tally for one loop iteration.
+type ClassCycles [NumCycleClasses]int
+
+// Total sums the tally.
+func (c ClassCycles) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// BodyCyclesByClass attributes BodyCycles to instruction classes; the
+// tally sums exactly to BodyCycles(body). Dual-issued pairs cost the
+// maximum of their two instructions; when the paired instruction raises
+// the issue-group cost, the increment is attributed to its class.
+func (c CostModel) BodyCyclesByClass(body []Instr) ClassCycles {
+	var out ClassCycles
+	prev := 0
+	for _, in := range body {
+		if in.Op == JNZ {
+			continue // charged once by the trailing LoopJnz term
+		}
+		cyc := c.InstrCycles(in)
+		if in.Paired && prev > 0 {
+			if cyc > prev {
+				out[ClassOf(in)] += cyc - prev
+				prev = cyc
+			}
+			continue
+		}
+		out[ClassOf(in)] += cyc
+		prev = cyc
+	}
+	out[ClassLoop] += c.LoopJnz
+	return out
+}

@@ -174,3 +174,56 @@ func TestBodyCyclesMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBodyCyclesByClassSumsToBodyCycles(t *testing.T) {
+	cm := DefaultCost
+	// A representative body: loads, paired arithmetic, a divide, a sqrt,
+	// a spill/restore pair, and the loop branch.
+	body := []Instr{
+		{Op: FLODV, A: M(0), D: V(0)},
+		{Op: FLODV, A: M(1), D: V(1), Paired: true},
+		{Op: FADDV, A: V(0), B: V(1), D: V(2)},
+		{Op: SPILLV, A: V(2), D: Slot(0)},
+		{Op: FDIVV, A: V(0), B: V(1), D: V(3)},
+		{Op: FSTRV, A: V(3), D: M(2), Paired: true},
+		{Op: FSQRTV, A: V(3), D: V(4)},
+		{Op: RESTV, A: Slot(0), D: V(2)},
+		{Op: FMULV, A: V(2), B: V(4), D: V(5)},
+		{Op: FSTRV, A: V(5), D: M(3)},
+		{Op: JNZ},
+	}
+	by := cm.BodyCyclesByClass(body)
+	if got, want := by.Total(), cm.BodyCycles(body); got != want {
+		t.Fatalf("class totals sum to %d, BodyCycles says %d", got, want)
+	}
+	if by[ClassDivide] == 0 || by[ClassSqrt] == 0 || by[ClassSpill] == 0 ||
+		by[ClassMemory] == 0 || by[ClassVector] == 0 {
+		t.Errorf("expected every exercised class nonzero: %v", by)
+	}
+	if by[ClassLoop] != cm.LoopJnz {
+		t.Errorf("loop class = %d, want LoopJnz %d", by[ClassLoop], cm.LoopJnz)
+	}
+}
+
+// Property: class attribution sums exactly to BodyCycles on random
+// bodies, including randomly paired instructions.
+func TestBodyCyclesByClassSumProperty(t *testing.T) {
+	ops := []Opcode{FADDV, FSUBV, FMULV, FDIVV, FLODV, FSTRV, FSQRTV, FSINV, SPILLV, RESTV}
+	f := func(seed uint32, k uint8) bool {
+		n := int(k%12) + 1
+		body := make([]Instr, n)
+		s := seed
+		for i := range body {
+			s = s*1664525 + 1013904223
+			body[i] = Instr{Op: ops[int(s>>8)%len(ops)], A: V(0), B: V(1), D: V(2)}
+			if i > 0 && s%3 == 0 {
+				body[i].Paired = true
+			}
+		}
+		cm := DefaultCost
+		return cm.BodyCyclesByClass(body).Total() == cm.BodyCycles(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,18 @@ var DefaultCommCost = CommCost{
 	HopCost:       25,
 }
 
+// Communication cycle classes: every charge is attributed to the
+// network that carries it, mirroring §2.2's split between the microcoded
+// NEWS grid, the general router, and the combine/reduction trees.
+const (
+	CommGrid   = "grid"
+	CommRouter = "router"
+	CommReduce = "reduce"
+)
+
+// CommClasses lists the communication cycle classes.
+var CommClasses = []string{CommGrid, CommRouter, CommReduce}
+
 // Comm executes communication-class moves against a store, accumulating
 // modeled cycles.
 type Comm struct {
@@ -46,6 +58,20 @@ type Comm struct {
 	Cost   CommCost
 	Cycles float64
 	Calls  int
+	// ClassCycles attributes Cycles per communication class (CommGrid,
+	// CommRouter, CommReduce); the class values sum exactly to Cycles.
+	ClassCycles map[string]float64
+}
+
+// charge attributes cyc to one communication class. Cycles is kept as
+// the re-summed class total so the per-class values always sum exactly
+// to it, independent of charge interleaving.
+func (c *Comm) charge(class string, cyc float64) {
+	if c.ClassCycles == nil {
+		c.ClassCycles = map[string]float64{CommGrid: 0, CommRouter: 0, CommReduce: 0}
+	}
+	c.ClassCycles[class] += cyc
+	c.Cycles = c.ClassCycles[CommGrid] + c.ClassCycles[CommRouter] + c.ClassCycles[CommReduce]
 }
 
 func (c *Comm) layoutOf(a *Array) shape.Layout {
@@ -180,7 +206,7 @@ func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
 	l := c.layoutOf(src)
 	sub := float64(l.SubgridSize())
 	hops := math.Abs(float64(shift))
-	c.Cycles += c.Cost.GridStartup + sub*c.Cost.GridLocal + sub*l.OffPEFraction(d)*c.Cost.GridWire*hops
+	c.charge(CommGrid, c.Cost.GridStartup+sub*c.Cost.GridLocal+sub*l.OffPEFraction(d)*c.Cost.GridWire*hops)
 	return nil
 }
 
@@ -242,8 +268,8 @@ func (c *Comm) execReduce(fc nir.FcnCall, tgt nir.Value) error {
 	c.Store.SetScalar(sv.Name, acc)
 
 	l := c.layoutOf(src)
-	c.Cycles += c.Cost.ReduceStartup + float64(l.SubgridSize())*c.Cost.ReducePerElem +
-		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	c.charge(CommReduce, c.Cost.ReduceStartup+float64(l.SubgridSize())*c.Cost.ReducePerElem+
+		math.Log2(float64(c.PEs))*c.Cost.HopCost)
 	return nil
 }
 
@@ -266,7 +292,7 @@ func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
 		}
 	}
 	l := c.layoutOf(src)
-	c.Cycles += c.Cost.RouterStartup + float64(l.SubgridSize())*c.Cost.RouterPerElem
+	c.charge(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem)
 	return nil
 }
 
@@ -327,8 +353,8 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 		}
 	}
 	l := c.layoutOf(out)
-	c.Cycles += c.Cost.GridStartup + float64(l.SubgridSize())*c.Cost.GridLocal +
-		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	c.charge(CommGrid, c.Cost.GridStartup+float64(l.SubgridSize())*c.Cost.GridLocal+
+		math.Log2(float64(c.PEs))*c.Cost.HopCost)
 	return nil
 }
 
@@ -360,7 +386,7 @@ func (c *Comm) execDot(fc nir.FcnCall, tgt nir.Value) error {
 	}
 	c.Store.SetScalar(sv.Name, acc)
 	l := c.layoutOf(a)
-	c.Cycles += c.Cost.ReduceStartup + float64(l.SubgridSize())*(c.Cost.GridLocal+c.Cost.ReducePerElem) +
-		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	c.charge(CommReduce, c.Cost.ReduceStartup+float64(l.SubgridSize())*(c.Cost.GridLocal+c.Cost.ReducePerElem)+
+		math.Log2(float64(c.PEs))*c.Cost.HopCost)
 	return nil
 }

@@ -98,7 +98,7 @@ func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 	}
 
 	l := shape.Blockwise(over, c.PEs)
-	c.Cycles += c.Cost.RouterStartup + float64(l.SubgridSize())*c.Cost.RouterPerElem
+	c.charge(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem)
 	return nil
 }
 
