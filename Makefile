@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke bench clean
+.PHONY: check vet build test race smoke fuzz-smoke determinism bench clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
-# build, the race-enabled test suite, and a machine-readable benchmark
-# smoke run.
-check: vet build race smoke
+# build, the race-enabled test suite, a machine-readable benchmark
+# smoke run, a short fuzz of the front end, and the fault-plane
+# determinism tests.
+check: vet build race smoke fuzz-smoke determinism
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +26,17 @@ race:
 smoke:
 	$(GO) run ./cmd/swebench -json -n 128 -steps 2 -o .bench-smoke.json
 	rm -f .bench-smoke.json
+
+# Short fuzz of the parser and the whole compile pipeline (~20s). The
+# native fuzzer also replays the regression corpus in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s .
+
+# Fault-plane invariants: zero overhead with no plan attached, and
+# bit-identical replay of the same seed.
+determinism:
+	$(GO) test -run 'ZeroOverhead|Determinism|Resume' ./internal/cm2/ ./internal/cm5/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -12,6 +12,7 @@
 //	-v                                   print the phase/counter report to stderr
 //	-metrics                             run the program, print the full report
 //	-trace out.json                      run the program, write a Chrome trace
+//	-faults spec                         inject faults during -metrics/-trace runs
 //
 // -metrics and -trace execute the compiled program on the modeled CM/2
 // so the report and trace include the "exec" span and the cycle
@@ -27,6 +28,8 @@ import (
 
 	"f90y"
 	"f90y/internal/ast"
+	"f90y/internal/cm2"
+	"f90y/internal/faults"
 	"f90y/internal/fe"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -41,6 +44,7 @@ var (
 	flagV       = flag.Bool("v", false, "print the compilation phase/counter report to stderr")
 	flagMetrics = flag.Bool("metrics", false, "run the program and print the full telemetry report")
 	flagTrace   = flag.String("trace", "", "run the program and write a Chrome trace_event JSON file")
+	flagFaults  = flag.String("faults", "", "fault-injection spec for -metrics/-trace runs, e.g. seed=7,drop=0.001")
 )
 
 func main() {
@@ -87,9 +91,19 @@ func main() {
 	}
 
 	// -metrics/-trace execute the program so the report and trace carry
-	// the exec span and cycle attribution.
+	// the exec span and cycle attribution (and, with -faults, the
+	// injected-fault events and recovery counters).
 	if *flagMetrics || *flagTrace != "" {
-		res, err := comp.Run()
+		plan, err := faults.ParseSpec(*flagFaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yc:", err)
+			os.Exit(2)
+		}
+		var ctl *cm2.Control
+		if plan != nil {
+			ctl = &cm2.Control{Faults: faults.New(plan, cfg.Obs)}
+		}
+		res, err := comp.RunCtl(ctl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "f90yc:", err)
 			os.Exit(1)

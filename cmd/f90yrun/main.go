@@ -4,15 +4,26 @@
 //
 // Usage:
 //
-//	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json] file.f90
+//	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json]
+//	        [-faults spec] [-checkpoint-every N] [-checkpoint ckpt.json]
+//	        [-resume ckpt.json] file.f90
 //
 // With -verify the result is also checked elementwise against the
 // reference interpreter. -metrics prints the phase/counter telemetry
 // report (compile spans plus execution cycle attribution) to stderr;
 // -trace writes the same telemetry as Chrome trace_event JSON.
+//
+// -faults attaches a deterministic fault-injection plan, e.g.
+// "seed=7,pe=0.01,drop=0.001,fatal=200" (see internal/faults.ParseSpec
+// for the full key list). -checkpoint-every N snapshots the machine to
+// -checkpoint (default <file>.ckpt.json) every N host boundaries;
+// -resume restarts a run from such a snapshot — a run killed by an
+// injected fatal fault continues from its last checkpoint and produces
+// the same final store as an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -20,7 +31,9 @@ import (
 	"strings"
 
 	"f90y"
+	"f90y/internal/cm2"
 	"f90y/internal/cm5"
+	"f90y/internal/faults"
 	"f90y/internal/interp"
 	"f90y/internal/obs"
 	"f90y/internal/rt"
@@ -32,7 +45,58 @@ var (
 	flagVerify  = flag.Bool("verify", false, "check results against the reference interpreter")
 	flagMetrics = flag.Bool("metrics", false, "print the telemetry report to stderr")
 	flagTrace   = flag.String("trace", "", "write a Chrome trace_event JSON file")
+	flagFaults  = flag.String("faults", "", "fault-injection spec, e.g. seed=7,pe=0.01,drop=0.001")
+	flagCkEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N host boundaries (0 = off)")
+	flagCkPath  = flag.String("checkpoint", "", "checkpoint file path (default <file>.ckpt.json)")
+	flagResume  = flag.String("resume", "", "resume from a checkpoint file")
 )
+
+// control assembles the execution control plane from the fault and
+// checkpoint flags; nil when none are in play (the zero-overhead path).
+func control(file string, rec obs.Recorder) *cm2.Control {
+	plan, err := faults.ParseSpec(*flagFaults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun:", err)
+		os.Exit(2)
+	}
+	if plan == nil && *flagCkEvery == 0 && *flagResume == "" {
+		return nil
+	}
+	ctl := &cm2.Control{Faults: faults.New(plan, rec), CheckpointEvery: *flagCkEvery}
+	if *flagCkEvery > 0 {
+		path := *flagCkPath
+		if path == "" {
+			path = file + ".ckpt.json"
+		}
+		ctl.Checkpoint = func(ck *rt.Checkpoint) error { return ck.Write(path) }
+	}
+	if *flagResume != "" {
+		ck, err := rt.ReadCheckpoint(*flagResume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "f90yrun:", err)
+			os.Exit(1)
+		}
+		ctl.Resume = ck
+	}
+	return ctl
+}
+
+// fail reports a run error; an injected fatal fault points at the
+// checkpoint so the user knows the run is resumable.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "f90yrun:", err)
+	if errors.Is(err, faults.ErrFatal) && *flagCkEvery > 0 {
+		fmt.Fprintln(os.Stderr, "f90yrun: resume with -resume", ckptPath())
+	}
+	os.Exit(1)
+}
+
+func ckptPath() string {
+	if *flagCkPath != "" {
+		return *flagCkPath
+	}
+	return flag.Arg(0) + ".ckpt.json"
+}
 
 func main() {
 	flag.Parse()
@@ -60,16 +124,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctl := control(file, cfg.Obs)
 	var output []string
 	var report string
+	var stats *faults.Stats
 	switch *flagTarget {
 	case "cm2":
-		res, err := comp.Run()
+		res, err := comp.RunCtl(ctl)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yrun:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		output = res.Output
+		stats = res.Faults
 		report = fmt.Sprintf(
 			"cm2: %d PEs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls, %d comm calls\n"+
 				"cycles: pe %.0f, comm %.0f, host %.0f | flops %d",
@@ -81,13 +147,13 @@ func main() {
 	case "cm5":
 		m := cm5.Default()
 		span := obs.Start(cfg.Obs, "exec")
-		res, err := m.RunObs(comp.Program, cfg.Obs)
+		res, err := m.RunCtl(comp.Program, cfg.Obs, ctl)
 		span.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yrun:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		output = res.Output
+		stats = res.Faults
 		report = fmt.Sprintf(
 			"cm5: %d nodes x %d VUs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls",
 			m.Nodes, m.VUsPerNode, m.ClockHz/1e6, res.Seconds()*1e3, res.GFLOPS(), res.NodeCalls)
@@ -97,6 +163,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "f90yrun: unknown target %q\n", *flagTarget)
 		os.Exit(2)
+	}
+	if stats != nil {
+		report += "\n" + faultLine(stats)
 	}
 
 	for _, line := range output {
@@ -123,6 +192,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *flagTrace)
 	}
+}
+
+// faultLine summarizes the fault plane's activity for the report.
+func faultLine(s *faults.Stats) string {
+	total := int64(0)
+	for _, n := range s.Injected {
+		total += n
+	}
+	return fmt.Sprintf("faults: %d injected | %d retries (%.0f cycles) | %d PEs degraded",
+		total, s.Retries, s.RetryCycles, s.Degraded)
 }
 
 // verify re-runs the program under the reference interpreter and compares

@@ -22,6 +22,7 @@ import (
 	"f90y/internal/cm2"
 	"f90y/internal/cm5"
 	"f90y/internal/cmf"
+	"f90y/internal/faults"
 	"f90y/internal/nir"
 	"f90y/internal/opt"
 	"f90y/internal/pe"
@@ -34,18 +35,24 @@ var (
 	flagN     = flag.Int("n", 1024, "SWE grid edge")
 	flagSteps = flag.Int("steps", 4, "SWE time steps")
 	flagExp   = flag.String("experiment", "all", "experiment id: e1..e7 or all")
-	flagJSON  = flag.Bool("json", false, "write a machine-readable benchmark record instead of tables")
-	flagOut   = flag.String("o", "", "output path for -json (default BENCH_swe_n<N>_s<steps>.json)")
+	flagJSON   = flag.Bool("json", false, "write a machine-readable benchmark record instead of tables")
+	flagOut    = flag.String("o", "", "output path for -json (default BENCH_swe_n<N>_s<steps>.json)")
+	flagFaults = flag.String("faults", "", "fault-injection spec for the -json run, e.g. seed=7,pe=0.02")
 )
 
 func main() {
 	flag.Parse()
 	if *flagJSON {
+		plan, err := faults.ParseSpec(*flagFaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swebench:", err)
+			os.Exit(2)
+		}
 		path := *flagOut
 		if path == "" {
 			path = fmt.Sprintf("BENCH_swe_n%d_s%d.json", *flagN, *flagSteps)
 		}
-		writeJSON(path)
+		writeJSON(path, plan)
 		return
 	}
 	exps := map[string]func(){

@@ -21,6 +21,9 @@
 package f90y
 
 import (
+	"fmt"
+	"runtime/debug"
+
 	"f90y/internal/ast"
 	"f90y/internal/cm2"
 	"f90y/internal/fe"
@@ -72,45 +75,99 @@ type Compilation struct {
 	Obs       obs.Recorder // telemetry sink carried from Config (may be nil)
 }
 
+// PanicError is an internal compiler error: a pipeline phase panicked
+// and Compile converted the panic into a structured diagnostic instead
+// of crashing the process. The zero-indexed stack is captured at the
+// panic site.
+type PanicError struct {
+	File  string // source file being compiled
+	Phase string // pipeline phase that panicked (lex, parse, lower, opt, partition)
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: internal compiler error in %s: %v", e.File, e.Phase, e.Value)
+}
+
+// guard runs one pipeline phase, converting a panic into a *PanicError.
+// Malformed input must surface as a diagnostic, never a crash: the
+// front end is fed machine-generated and fuzzed sources.
+func guard(file, phase string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{File: file, Phase: phase, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
 // Compile runs the front end, semantic lowering, NIR optimization, and
 // CM2/NIR partitioning. When cfg.Obs is set, each phase emits one span
 // (lex, parse, lower, opt/<pass>..., partition with nested pe-codegen
-// spans) and its statistics as counters.
+// spans) and its statistics as counters. A panic inside any phase is
+// recovered into a *PanicError diagnostic naming the file and phase.
 func Compile(filename, src string, cfg Config) (*Compilation, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = cm2.Default()
 	}
 	rec := cfg.Obs
 
-	span := obs.Start(rec, "lex")
+	var toks []lexer.Token
 	var rep source.Reporter
-	toks := lexer.Tokens(filename, src, &rep)
-	span.End()
-	obs.Add(rec, "lex/tokens", float64(len(toks)))
-	if rep.HasErrors() {
-		return nil, rep.Err()
-	}
-
-	span = obs.Start(rec, "parse")
-	tree, err := parser.ParseTokens(toks, &rep)
-	span.End()
-	if err != nil {
+	if err := guard(filename, "lex", func() error {
+		span := obs.Start(rec, "lex")
+		toks = lexer.Tokens(filename, src, &rep)
+		span.End()
+		obs.Add(rec, "lex/tokens", float64(len(toks)))
+		if rep.HasErrors() {
+			return rep.Err()
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 
-	span = obs.Start(rec, "lower")
-	mod, err := lower.Lower(tree)
-	span.End()
-	if err != nil {
+	var tree *ast.Program
+	if err := guard(filename, "parse", func() error {
+		span := obs.Start(rec, "parse")
+		defer span.End()
+		var err error
+		tree, err = parser.ParseTokens(toks, &rep)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 
-	omod, ostats := opt.OptimizeObs(mod, cfg.Opt, rec)
+	var mod *lower.Module
+	if err := guard(filename, "lower", func() error {
+		span := obs.Start(rec, "lower")
+		defer span.End()
+		var err error
+		mod, err = lower.Lower(tree)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
-	span = obs.Start(rec, "partition")
-	prog, pstats, err := partition.CompileObs(omod, cfg.PE, rec)
-	span.End()
-	if err != nil {
+	var omod *lower.Module
+	var ostats opt.Stats
+	if err := guard(filename, "opt", func() error {
+		omod, ostats = opt.OptimizeObs(mod, cfg.Opt, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var prog *fe.Program
+	var pstats partition.Stats
+	if err := guard(filename, "partition", func() error {
+		span := obs.Start(rec, "partition")
+		defer span.End()
+		var err error
+		prog, pstats, err = partition.CompileObs(omod, cfg.PE, rec)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Compilation{
@@ -132,6 +189,15 @@ func (c *Compilation) Run() (*cm2.Result, error) {
 	span := obs.Start(c.Obs, "exec")
 	defer span.End()
 	return c.Machine.RunObs(c.Program, nil, c.Obs)
+}
+
+// RunCtl executes the compiled program under an execution control
+// plane: deterministic fault injection, periodic checkpoints, and
+// resume from a snapshot (see cm2.Control). A nil ctl is exactly Run.
+func (c *Compilation) RunCtl(ctl *cm2.Control) (*cm2.Result, error) {
+	span := obs.Start(c.Obs, "exec")
+	defer span.End()
+	return c.Machine.RunCtl(c.Program, nil, c.Obs, ctl)
 }
 
 // Interpret runs a program under the reference interpreter (the oracle):

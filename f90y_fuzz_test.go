@@ -1,0 +1,59 @@
+package f90y
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"f90y/internal/parser"
+	"f90y/internal/workload"
+)
+
+// seedCorpus is the fuzzing seed set: real kernels, the shipped SWE
+// example, and truncations/mutations of it that exercise mid-token and
+// mid-statement EOF paths.
+func seedCorpus(f *testing.F) {
+	f.Add(workload.SWE(8, 1))
+	f.Add(workload.Fig9(8))
+	f.Add(workload.Fig10(8))
+	f.Add("program p\ninteger :: i\ni = 1\nprint *, i\nend program p\n")
+	if data, err := os.ReadFile("examples/swe.f90"); err == nil {
+		src := string(data)
+		f.Add(src)
+		for _, cut := range []int{1, len(src) / 3, len(src) / 2, len(src) - 1} {
+			if cut < len(src) {
+				f.Add(src[:cut])
+			}
+		}
+	}
+	f.Add("")
+	f.Add("program")
+	f.Add("program p\nreal :: a(\nend")
+	f.Add("\x00\xff\xfe garbage !@#$")
+}
+
+// FuzzParse feeds arbitrary source through the front end. The contract
+// is no panic and no hang: any input must produce a tree or an error.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := parser.Parse("fuzz.f90", src)
+		if tree == nil && err == nil {
+			t.Fatal("parser returned neither a tree nor an error")
+		}
+	})
+}
+
+// FuzzCompile drives the whole pipeline. Compile recovers phase panics
+// into *PanicError — a recovered panic is still a bug, so it fails the
+// fuzz run with the phase and stack attached.
+func FuzzCompile(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, err := Compile("fuzz.f90", src, DefaultConfig())
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("compiler panicked in phase %s: %v\n%s", pe.Phase, pe.Value, pe.Stack)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package f90y
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"f90y/internal/workload"
+)
+
+// TestCompileMalformedInput locks in the hardening contract: truncated
+// and garbage sources produce a diagnostic (or compile cleanly), never
+// a process crash. A recovered internal panic surfaces as *PanicError
+// and counts as a failure here.
+func TestCompileMalformedInput(t *testing.T) {
+	swe := workload.SWE(8, 1)
+	cases := map[string]string{
+		"empty":            "",
+		"bare-keyword":     "program",
+		"unclosed-decl":    "program p\nreal :: a(\nend",
+		"unclosed-do":      "program p\ninteger :: i\ndo i = 1, 10\nend program p",
+		"binary-garbage":   "\x00\xff\xfe\x01 !@#$%^&*",
+		"truncated-swe-1":  swe[:len(swe)/4],
+		"truncated-swe-2":  swe[:len(swe)/2],
+		"truncated-swe-3":  swe[:len(swe)-5],
+		"shuffled-lines":   shuffleLines(swe),
+		"operators-only":   "+ - * / ** = ( ) , ::",
+		"deep-parens":      "program p\nreal :: x\nx = " + strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200) + "\nend program p",
+		"statement-noise":  "program p\nif then else where do while\nend program p",
+		"mismatched-paren": "program p\nreal :: a(10)\na(1 = 2)\nend program p",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Compile(name+".f90", src, DefaultConfig())
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("compiler panicked in phase %s on %s input: %v\n%s",
+					pe.Phase, name, pe.Value, pe.Stack)
+			}
+		})
+	}
+}
+
+// shuffleLines deterministically reorders a program's lines (reversal —
+// no randomness, the test must be reproducible).
+func shuffleLines(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, j := 0, len(lines)-1; i < j; i, j = i+1, j-1 {
+		lines[i], lines[j] = lines[j], lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestGuardRecoversPanic exercises the phase guard directly: a panic
+// inside a phase becomes a structured *PanicError naming the file and
+// phase, with the stack attached.
+func TestGuardRecoversPanic(t *testing.T) {
+	err := guard("x.f90", "lower", func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("guard returned %v, want *PanicError", err)
+	}
+	if pe.File != "x.f90" || pe.Phase != "lower" {
+		t.Errorf("PanicError = {File: %q, Phase: %q}, want {x.f90, lower}", pe.File, pe.Phase)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("PanicError.Value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+	if !strings.Contains(pe.Error(), "internal compiler error in lower") {
+		t.Errorf("Error() = %q, want phase named", pe.Error())
+	}
+
+	// Errors pass through untouched.
+	want := errors.New("plain")
+	if got := guard("x.f90", "parse", func() error { return want }); got != want {
+		t.Errorf("guard(err) = %v, want %v", got, want)
+	}
+}

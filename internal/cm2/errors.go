@@ -1,0 +1,9 @@
+package cm2
+
+import "errors"
+
+// ErrDispatch reports a node dispatch that could not run: a routine
+// without a shape, or a processing element killed by fault injection
+// while graceful degradation is disabled. Match with errors.Is; the
+// fault case also wraps faults.ErrPEDead.
+var ErrDispatch = errors.New("node dispatch failed")

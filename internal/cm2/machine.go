@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"f90y/internal/fe"
+	"f90y/internal/faults"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -22,6 +23,30 @@ import (
 	"f90y/internal/rt"
 	"f90y/internal/shape"
 )
+
+// DegradeClass is the PE cycle class charged for graceful degradation:
+// remapping a dead PE's subgrid onto its buddy and the extra subgrid
+// pass every subsequent dispatch pays while PEs are dead (the
+// synchronous machine gates on its slowest PE).
+const DegradeClass = "degrade"
+
+// Control is the optional execution control plane for a run: fault
+// injection, periodic checkpointing, and resume from a snapshot. A nil
+// *Control runs the plain path with zero overhead.
+type Control struct {
+	// Faults drives injection across the host VM, the communication
+	// layer, and node dispatch (nil disables injection).
+	Faults *faults.Injector
+	// CheckpointEvery writes a snapshot after every N top-level host
+	// boundaries (ops and top-level serial-DO iterations); zero
+	// disables checkpointing.
+	CheckpointEvery int
+	// Checkpoint receives each snapshot (typically to write to disk).
+	Checkpoint func(ck *rt.Checkpoint) error
+	// Resume restores a snapshot before execution: the store, the
+	// accumulated cycle attribution, and the host resume position.
+	Resume *rt.Checkpoint
+}
 
 // Machine is one CM/2 configuration.
 type Machine struct {
@@ -76,8 +101,13 @@ type Result struct {
 	// (rt.CommGrid, rt.CommRouter, rt.CommReduce).
 	CommClassCycles map[string]float64
 	// HostClassCycles attributes HostCycles per front-end activity
-	// (hostvm.HostIssue, HostScalar, HostElem, HostDispatch).
+	// (hostvm.HostIssue, HostScalar, HostElem, HostDispatch, and
+	// HostStall when stalls were injected).
 	HostClassCycles map[string]float64
+
+	// Faults reports what the fault plane injected and how the runtime
+	// recovered; nil when the run had no injector attached.
+	Faults *faults.Stats
 }
 
 // TotalCycles is the modeled end-to-end cycle count; host, node, and
@@ -112,6 +142,16 @@ func (m *Machine) RunOn(prog *fe.Program, store *rt.Store) (*Result, error) {
 // nil recorder costs one branch per dispatch). A nil store means a
 // fresh store initialized from the program's symbols.
 func (m *Machine) RunObs(prog *fe.Program, store *rt.Store, rec obs.Recorder) (*Result, error) {
+	return m.RunCtl(prog, store, rec, nil)
+}
+
+// RunCtl executes a partitioned program under an execution control
+// plane: fault injection, periodic checkpoints, and resume from a
+// snapshot. A nil ctl is exactly RunObs — same code path, bit-identical
+// cycle totals. A run halted by an injected fatal fault returns an
+// error wrapping faults.ErrFatal; restart it from the last checkpoint
+// via ctl.Resume.
+func (m *Machine) RunCtl(prog *fe.Program, store *rt.Store, rec obs.Recorder, ctl *Control) (*Result, error) {
 	if store == nil {
 		store = rt.NewStore(prog.Syms)
 	}
@@ -123,13 +163,33 @@ func (m *Machine) RunObs(prog *fe.Program, store *rt.Store, rec obs.Recorder) (*
 		PERoutineCycles: map[string]float64{},
 	}
 
+	var inj *faults.Injector
+	var hctl *hostvm.Ctl
+	if ctl != nil {
+		inj = ctl.Faults
+		comm.Faults = inj
+		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery}
+		if ctl.Checkpoint != nil {
+			hctl.Checkpoint = func(vm *hostvm.VM, next int, inLoop bool, iterDone int) error {
+				ck := snapshot(store, vm, comm, res, next, inLoop, iterDone)
+				ck.Machine = "cm2"
+				return ctl.Checkpoint(ck)
+			}
+		}
+		if ck := ctl.Resume; ck != nil {
+			if err := resume(ck, store, comm, res, hctl); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res, rec)
+			return m.dispatch(r, over, store, res, rec, inj)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
-	vm, err := hostvm.Run(prog, store, m.HostCost, hooks)
+	vm, err := hostvm.RunCtl(prog, store, m.HostCost, hooks, hctl)
 	if err != nil {
 		return nil, err
 	}
@@ -143,8 +203,63 @@ func (m *Machine) RunObs(prog *fe.Program, store *rt.Store, rec obs.Recorder) (*
 	for _, cl := range rt.CommClasses {
 		res.CommClassCycles[cl] = comm.ClassCycles[cl]
 	}
+	res.Faults = inj.Stats()
 	res.emit(rec)
 	return res, nil
+}
+
+// snapshot captures a consistent machine state at a host boundary: the
+// store, the output so far, and every cycle bucket. The hostvm buckets
+// come from the live VM; PE and comm state from the accumulating
+// result and comm layer (both already cumulative across a resume).
+func snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *Result, next int, inLoop bool, iterDone int) *rt.Checkpoint {
+	ck := store.Checkpoint()
+	ck.NextOp, ck.InLoop, ck.IterDone = next, inLoop, iterDone
+	ck.Output = append([]string(nil), vm.Output...)
+	ck.Flops = res.Flops
+	ck.NodeCalls = res.NodeCalls
+	ck.CommCalls = comm.Calls
+	ck.HostCycles = vm.Cycles
+	ck.PECycles = res.PECycles
+	ck.CommCycles = comm.Cycles
+	ck.PEClassCycles = copyMap(res.PEClassCycles)
+	ck.PERoutineCycles = copyMap(res.PERoutineCycles)
+	ck.CommClassCycles = copyMap(comm.ClassCycles)
+	ck.HostClassCycles = vm.ClassCycles()
+	return ck
+}
+
+// resume restores a snapshot into the store, the comm layer, the
+// result accumulators, and the host control plane, so the continued
+// run picks up every total where the snapshot left it.
+func resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res *Result, hctl *hostvm.Ctl) error {
+	if err := ck.ApplyStore(store); err != nil {
+		return fmt.Errorf("cm2: resume: %w", err)
+	}
+	comm.Restore(ck.CommClassCycles, ck.CommCalls)
+	res.PECycles = ck.PECycles
+	res.Flops = ck.Flops
+	res.NodeCalls = ck.NodeCalls
+	for cl, v := range ck.PEClassCycles {
+		res.PEClassCycles[cl] = v
+	}
+	for name, v := range ck.PERoutineCycles {
+		res.PERoutineCycles[name] = v
+	}
+	hctl.ResumeOp = ck.NextOp
+	hctl.ResumeInLoop = ck.InLoop
+	hctl.ResumeIter = ck.IterDone
+	hctl.ResumeOutput = ck.Output
+	hctl.ResumeClassCycles = ck.HostClassCycles
+	return nil
+}
+
+func copyMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // emit reports the execution result as counters.
@@ -174,12 +289,17 @@ func (res *Result) emit(rec obs.Recorder) {
 
 // dispatch runs one PEAC routine over its shape, charging the cycle model
 // and executing it functionally over the stored arrays.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder) error {
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector) error {
 	if over == nil {
-		return fmt.Errorf("cm2: node routine %s without a shape", r.Name)
+		return fmt.Errorf("cm2: node routine %s without a shape: %w", r.Name, ErrDispatch)
 	}
 	layout := shape.Blockwise(over, m.PEs)
 	sub := layout.SubgridSize()
+	if inj != nil {
+		if err := m.injectDispatch(r, sub, res, inj); err != nil {
+			return err
+		}
+	}
 	cyc := float64(m.PECost.RoutineCycles(r, sub))
 	res.PECycles += cyc
 	res.PERoutineCycles[r.Name] += cyc
@@ -196,4 +316,32 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	res.NodeCalls++
 	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
 	return ExecRoutine(r, over, store)
+}
+
+// injectDispatch applies the fault plane to one node dispatch. A PE
+// killed here either aborts the run (degradation disabled: a clean
+// error wrapping ErrDispatch and faults.ErrPEDead) or degrades
+// gracefully: the dead PE's subgrid is remapped onto a buddy — charged
+// one router transfer of the subgrid — and every later dispatch pays
+// one extra subgrid pass, because the synchronous machine gates on its
+// slowest PE and the buddy now runs two subgrids back to back.
+// Execution stays functionally exact: the model charges cycles, the
+// data motion is unaffected.
+func (m *Machine) injectDispatch(r *peac.Routine, sub int, res *Result, inj *faults.Injector) error {
+	for _, pe := range inj.DispatchTick(m.PEs) {
+		if !inj.Degrade() {
+			return fmt.Errorf("cm2: dispatch of %s: %w: processing element %d: %w",
+				r.Name, ErrDispatch, pe, faults.ErrPEDead)
+		}
+		remap := m.CommCost.RouterStartup + float64(sub)*m.CommCost.RouterPerElem
+		res.PECycles += remap
+		res.PEClassCycles[DegradeClass] += remap
+		inj.NoteDegraded(pe)
+	}
+	if inj.DeadCount() > 0 {
+		extra := float64(m.PECost.RoutineCycles(r, sub))
+		res.PECycles += extra
+		res.PEClassCycles[DegradeClass] += extra
+	}
+	return nil
 }

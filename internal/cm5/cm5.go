@@ -22,6 +22,7 @@ import (
 
 	"f90y/internal/cm2"
 	"f90y/internal/fe"
+	"f90y/internal/faults"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -83,8 +84,9 @@ func Default() *Machine {
 // node-level breakdown.
 type Result struct {
 	cm2.Result
-	VUCycles    float64 // vector-datapath time
-	SPARCCycles float64 // node SPARC issue/setup time
+	VUCycles      float64 // vector-datapath time
+	SPARCCycles   float64 // node SPARC issue/setup time
+	DegradeCycles float64 // dead-node remaps and buddy double-duty (fault plane)
 }
 
 // Run executes a partitioned program on the CM-5. The input is the same
@@ -98,6 +100,13 @@ func (m *Machine) Run(prog *fe.Program) (*Result, error) {
 // PEAC instruction classes (vector-unit time) plus a "sparc-issue"
 // class for the node SPARC's block setup.
 func (m *Machine) RunObs(prog *fe.Program, rec obs.Recorder) (*Result, error) {
+	return m.RunCtl(prog, rec, nil)
+}
+
+// RunCtl executes a partitioned program under an execution control
+// plane (fault injection, checkpoints, resume — see cm2.Control). A
+// nil ctl is exactly RunObs: same path, bit-identical cycle totals.
+func (m *Machine) RunCtl(prog *fe.Program, rec obs.Recorder, ctl *cm2.Control) (*Result, error) {
 	store := rt.NewStore(prog.Syms)
 	comm := &rt.Comm{Store: store, PEs: m.Nodes * m.VUsPerNode, Cost: m.CommCost}
 	res := &Result{}
@@ -106,13 +115,31 @@ func (m *Machine) RunObs(prog *fe.Program, rec obs.Recorder) (*Result, error) {
 	res.PEClassCycles = map[string]float64{}
 	res.PERoutineCycles = map[string]float64{}
 
+	var inj *faults.Injector
+	var hctl *hostvm.Ctl
+	if ctl != nil {
+		inj = ctl.Faults
+		comm.Faults = inj
+		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery}
+		if ctl.Checkpoint != nil {
+			hctl.Checkpoint = func(vm *hostvm.VM, next int, inLoop bool, iterDone int) error {
+				return ctl.Checkpoint(m.snapshot(store, vm, comm, res, next, inLoop, iterDone))
+			}
+		}
+		if ck := ctl.Resume; ck != nil {
+			if err := m.resume(ck, store, comm, res, hctl); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res)
+			return m.dispatch(r, over, store, res, inj)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
-	vm, err := hostvm.Run(prog, store, m.HostCost, hooks)
+	vm, err := hostvm.RunCtl(prog, store, m.HostCost, hooks, hctl)
 	if err != nil {
 		return nil, err
 	}
@@ -121,17 +148,80 @@ func (m *Machine) RunObs(prog *fe.Program, rec obs.Recorder) (*Result, error) {
 	res.HostCycles = vm.Cycles
 	res.CommCycles = comm.Cycles
 	res.CommCalls = comm.Calls
-	res.PECycles = res.VUCycles + res.SPARCCycles
+	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
 	res.HostClassCycles = vm.ClassCycles()
 	res.CommClassCycles = map[string]float64{}
 	for _, cl := range rt.CommClasses {
 		res.CommClassCycles[cl] = comm.ClassCycles[cl]
 	}
 	// The SPARC issue time is its own attribution class so the
-	// breakdown sums exactly to PECycles.
+	// breakdown sums exactly to PECycles; degradation likewise.
 	res.PEClassCycles["sparc-issue"] = res.SPARCCycles
+	if res.DegradeCycles != 0 {
+		res.PEClassCycles[cm2.DegradeClass] = res.DegradeCycles
+	}
+	res.Faults = inj.Stats()
 	res.emitObs(rec)
 	return res, nil
+}
+
+// snapshot captures a consistent boundary state; the CM-5's three-way
+// split travels in the Extra map.
+func (m *Machine) snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *Result, next int, inLoop bool, iterDone int) *rt.Checkpoint {
+	ck := store.Checkpoint()
+	ck.Machine = "cm5"
+	ck.NextOp, ck.InLoop, ck.IterDone = next, inLoop, iterDone
+	ck.Output = append([]string(nil), vm.Output...)
+	ck.Flops = res.Flops
+	ck.NodeCalls = res.NodeCalls
+	ck.CommCalls = comm.Calls
+	ck.HostCycles = vm.Cycles
+	ck.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
+	ck.CommCycles = comm.Cycles
+	ck.PEClassCycles = map[string]float64{}
+	for cl, v := range res.PEClassCycles {
+		ck.PEClassCycles[cl] = v
+	}
+	ck.PERoutineCycles = map[string]float64{}
+	for name, v := range res.PERoutineCycles {
+		ck.PERoutineCycles[name] = v
+	}
+	ck.CommClassCycles = map[string]float64{}
+	for cl, v := range comm.ClassCycles {
+		ck.CommClassCycles[cl] = v
+	}
+	ck.HostClassCycles = vm.ClassCycles()
+	ck.Extra = map[string]float64{
+		"vu-cycles":      res.VUCycles,
+		"sparc-cycles":   res.SPARCCycles,
+		"degrade-cycles": res.DegradeCycles,
+	}
+	return ck
+}
+
+// resume restores a snapshot into the store and accumulators.
+func (m *Machine) resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res *Result, hctl *hostvm.Ctl) error {
+	if err := ck.ApplyStore(store); err != nil {
+		return fmt.Errorf("cm5: resume: %w", err)
+	}
+	comm.Restore(ck.CommClassCycles, ck.CommCalls)
+	res.Flops = ck.Flops
+	res.NodeCalls = ck.NodeCalls
+	res.VUCycles = ck.Extra["vu-cycles"]
+	res.SPARCCycles = ck.Extra["sparc-cycles"]
+	res.DegradeCycles = ck.Extra["degrade-cycles"]
+	for cl, v := range ck.PEClassCycles {
+		res.PEClassCycles[cl] = v
+	}
+	for name, v := range ck.PERoutineCycles {
+		res.PERoutineCycles[name] = v
+	}
+	hctl.ResumeOp = ck.NextOp
+	hctl.ResumeInLoop = ck.InLoop
+	hctl.ResumeIter = ck.IterDone
+	hctl.ResumeOutput = ck.Output
+	hctl.ResumeClassCycles = ck.HostClassCycles
+	return nil
 }
 
 func (res *Result) emitObs(rec obs.Recorder) {
@@ -160,9 +250,9 @@ func (res *Result) emitObs(rec obs.Recorder) {
 // already broadcast the block (host side); here each node's SPARC unpacks
 // arguments and drives its four vector units over a quarter of the node
 // subgrid each.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result) error {
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector) error {
 	if over == nil {
-		return fmt.Errorf("cm5: node routine %s without a shape", r.Name)
+		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
 	layout := shape.Blockwise(over, m.Nodes)
 	nodeSub := layout.SubgridSize()
@@ -170,6 +260,25 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 
 	sparc := m.NodeSetup + float64(len(r.Params))*2
 	vu := float64(m.VUCost.RoutineCycles(r, perVU))
+
+	if inj != nil {
+		// Dead processing nodes: remap the node subgrid to a buddy
+		// through the data network, then every dispatch pays one extra
+		// node's worth of work while nodes are down (the control
+		// processor gates on the slowest node).
+		for _, node := range inj.DispatchTick(m.Nodes) {
+			if !inj.Degrade() {
+				return fmt.Errorf("cm5: dispatch of %s: %w: processing node %d: %w",
+					r.Name, cm2.ErrDispatch, node, faults.ErrPEDead)
+			}
+			res.DegradeCycles += m.CommCost.RouterStartup + float64(nodeSub)*m.CommCost.RouterPerElem
+			inj.NoteDegraded(node)
+		}
+		if inj.DeadCount() > 0 {
+			res.DegradeCycles += sparc + vu
+		}
+	}
+
 	res.SPARCCycles += sparc
 	res.VUCycles += vu
 	res.PERoutineCycles[r.Name] += sparc + vu
@@ -184,6 +293,6 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	}
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
 	res.NodeCalls++
-	res.PECycles = res.VUCycles + res.SPARCCycles
+	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
 	return cm2.ExecRoutine(r, over, store)
 }

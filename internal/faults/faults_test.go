@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	t.Run("empty-disables", func(t *testing.T) {
+		for _, spec := range []string{"", "   "} {
+			p, err := ParseSpec(spec)
+			if err != nil || p != nil {
+				t.Fatalf("ParseSpec(%q) = %v, %v; want nil plan", spec, p, err)
+			}
+		}
+		if New(nil, nil) != nil {
+			t.Fatal("New(nil) must be a nil injector")
+		}
+	})
+
+	t.Run("full", func(t *testing.T) {
+		p, err := ParseSpec("seed=42, pe=0.1, drop=0.2, corrupt=0.3, delay=0.4, stall=0.5," +
+			"retries=9, backoff=100, backoff-cap=800, stall-cycles=50, delay-cycles=25," +
+			"degrade=off, kill=5@100, fatal=200")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := &Plan{
+			Spec: p.Spec, Seed: 42, PEKill: 0.1, Drop: 0.2, Corrupt: 0.3, Delay: 0.4,
+			Stall: 0.5, MaxRetries: 9, RetryBackoff: 100, RetryBackoffCap: 800,
+			StallCycles: 50, DelayCycles: 25, NoDegrade: true,
+			Events: []Event{{At: 100, Kind: KillPE, PE: 5}, {At: 200, Kind: FatalStop}},
+		}
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("plan %+v\nwant %+v", p, want)
+		}
+	})
+
+	t.Run("rejects", func(t *testing.T) {
+		for _, spec := range []string{
+			"bogus=1",       // unknown key
+			"drop",          // no value
+			"drop=1.5",      // probability out of range
+			"drop=-0.1",     // probability out of range
+			"seed=x",        // not an integer
+			"kill=5",        // missing @tick
+			"kill=x@1",      // bad PE
+			"fatal=x",       // bad tick
+			"degrade=maybe", // not on/off
+		} {
+			if _, err := ParseSpec(spec); err == nil {
+				t.Errorf("ParseSpec(%q) accepted", spec)
+			}
+		}
+	})
+}
+
+// TestRetryWaitBackoff pins the retry cost curve: exponential from the
+// configured base, clamped at the cap.
+func TestRetryWaitBackoff(t *testing.T) {
+	inj := New(&Plan{Seed: 1, RetryBackoff: 100, RetryBackoffCap: 350}, nil)
+	for attempt, want := range []float64{100, 200, 350, 350} {
+		if got := inj.RetryWait(attempt); got != want {
+			t.Errorf("RetryWait(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+// TestChecksumDetectsBitFlip: the transfer checksum catches any single
+// injected bit flip, which is exactly the corruption model.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	data := []float64{1.5, -2.25, 0, math.Pi}
+	sum := Checksum(data)
+	for i := range data {
+		flipped := append([]float64(nil), data...)
+		flipped[i] = FlipBit(flipped[i], uint(i*7%52))
+		if Checksum(flipped) == sum {
+			t.Errorf("flip of element %d not detected", i)
+		}
+	}
+	if Checksum(data) != sum {
+		t.Error("checksum not deterministic")
+	}
+}
+
+// TestNilInjectorIsInert: every query on a nil injector is safe and
+// free — this is what makes the zero-overhead invariant one nil check
+// per site.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if stall, err := inj.HostTick(); stall != 0 || err != nil {
+		t.Error("nil HostTick must be free")
+	}
+	if v := inj.Transfer("router", 16); v != OK {
+		t.Errorf("nil Transfer = %v, want OK", v)
+	}
+	if killed := inj.DispatchTick(64); killed != nil {
+		t.Errorf("nil DispatchTick = %v", killed)
+	}
+	if inj.DeadCount() != 0 || inj.Stats() != nil || inj.Log() != nil {
+		t.Error("nil injector must report nothing")
+	}
+}
+
+// TestScheduledEventsFire: scheduled kills and fatal stops fire at
+// their exact tick, independent of the random rates.
+func TestScheduledEventsFire(t *testing.T) {
+	inj := New(&Plan{Seed: 1, Events: []Event{
+		{At: 3, Kind: KillPE, PE: 7},
+		{At: 5, Kind: FatalStop},
+	}}, nil)
+	for tick := 1; tick <= 4; tick++ {
+		if _, err := inj.HostTick(); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+	}
+	if killed := inj.DispatchTick(64); len(killed) != 1 || killed[0] != 7 {
+		t.Fatalf("killed = %v, want [7]", killed)
+	}
+	if inj.DeadCount() != 1 {
+		t.Fatalf("dead count %d after scheduled kill", inj.DeadCount())
+	}
+	if _, err := inj.HostTick(); err == nil {
+		t.Fatal("fatal event did not fire at tick 5")
+	}
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI fault-plan syntax shared by f90yc, f90yrun,
+// and swebench:
+//
+//	-faults seed=S,pe=P,drop=D,corrupt=C,delay=L,stall=T,...
+//
+// Items are comma-separated key=value pairs:
+//
+//	seed=N          RNG seed (default 1)
+//	pe=P            per-dispatch PE-death probability
+//	drop=P          per-transfer drop probability
+//	corrupt=P       per-transfer corruption probability
+//	delay=P         per-transfer delay probability
+//	stall=P         per-host-op stall probability
+//	retries=N       retransmission budget per transfer
+//	backoff=C       initial backoff wait, cycles
+//	backoff-cap=C   backoff wait ceiling, cycles
+//	stall-cycles=C  cost of one host stall
+//	delay-cycles=C  cost of one transfer delay
+//	degrade=on|off  graceful degradation on PE death (default on)
+//	kill=P@T        schedule PE P to die at host op T
+//	fatal=T         schedule a fatal machine fault at host op T
+//
+// An empty spec returns a nil plan (injection disabled).
+func ParseSpec(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1, Spec: spec}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad item %q: want key=value", item)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "pe":
+			p.PEKill, err = parseProb(val)
+		case "drop":
+			p.Drop, err = parseProb(val)
+		case "corrupt":
+			p.Corrupt, err = parseProb(val)
+		case "delay":
+			p.Delay, err = parseProb(val)
+		case "stall":
+			p.Stall, err = parseProb(val)
+		case "retries":
+			p.MaxRetries, err = strconv.Atoi(val)
+		case "backoff":
+			p.RetryBackoff, err = strconv.ParseFloat(val, 64)
+		case "backoff-cap":
+			p.RetryBackoffCap, err = strconv.ParseFloat(val, 64)
+		case "stall-cycles":
+			p.StallCycles, err = strconv.ParseFloat(val, 64)
+		case "delay-cycles":
+			p.DelayCycles, err = strconv.ParseFloat(val, 64)
+		case "degrade":
+			switch val {
+			case "on":
+				p.NoDegrade = false
+			case "off":
+				p.NoDegrade = true
+			default:
+				err = fmt.Errorf("want on or off, got %q", val)
+			}
+		case "kill":
+			peStr, atStr, ok := strings.Cut(val, "@")
+			if !ok {
+				err = fmt.Errorf("want kill=PE@TICK, got %q", val)
+				break
+			}
+			var pe int
+			var at int64
+			if pe, err = strconv.Atoi(peStr); err != nil {
+				break
+			}
+			if at, err = strconv.ParseInt(atStr, 10, 64); err != nil {
+				break
+			}
+			p.Events = append(p.Events, Event{At: at, Kind: KillPE, PE: pe})
+		case "fatal":
+			var at int64
+			if at, err = strconv.ParseInt(val, 10, 64); err != nil {
+				break
+			}
+			p.Events = append(p.Events, Event{At: at, Kind: FatalStop})
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q (want seed, pe, drop, corrupt, delay, stall, retries, backoff, backoff-cap, stall-cycles, delay-cycles, degrade, kill, fatal)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", v)
+	}
+	return v, nil
+}

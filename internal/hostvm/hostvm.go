@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"f90y/internal/fe"
+	"f90y/internal/faults"
 	"f90y/internal/nir"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
@@ -51,10 +52,42 @@ const (
 	HostScalar   = "scalar"      // front-end scalar arithmetic
 	HostElem     = "elem-access" // front-end touches of CM array elements
 	HostDispatch = "dispatch"    // IFIFO setup and argument pushes
+	HostStall    = "stall"       // injected front-end stalls (fault plane)
 )
 
-// HostClasses lists the host cycle classes.
-var HostClasses = []string{HostIssue, HostScalar, HostElem, HostDispatch}
+// HostClasses lists the host cycle classes. HostStall appears in
+// ClassCycles only when stalls were actually injected, so fault-free
+// reports are unchanged.
+var HostClasses = []string{HostIssue, HostScalar, HostElem, HostDispatch, HostStall}
+
+// Ctl is the optional execution control plane: fault injection,
+// periodic checkpointing, and resume from a snapshot. A nil *Ctl costs
+// nothing — Run(Ctl) with nil is bit-identical to the plain path.
+type Ctl struct {
+	// Faults injects front-end stalls and scheduled fatal faults at
+	// every host tick (nil disables injection).
+	Faults *faults.Injector
+	// CheckpointEvery invokes Checkpoint after every N completed
+	// top-level boundaries (top-level ops and top-level serial-DO
+	// iterations). Zero disables checkpointing.
+	CheckpointEvery int
+	// Checkpoint receives the VM at a consistent boundary: every op
+	// before next has completed; when inLoop is set, op next is a
+	// serial DO completed through iteration iterDone.
+	Checkpoint func(vm *VM, next int, inLoop bool, iterDone int) error
+
+	// Resume position (from a checkpoint): skip completed top-level
+	// ops, and when ResumeInLoop is set re-enter op ResumeOp's serial
+	// DO at iteration ResumeIter+1.
+	ResumeOp     int
+	ResumeInLoop bool
+	ResumeIter   int
+	// ResumeOutput pre-seeds the accumulated program output.
+	ResumeOutput []string
+	// ResumeClassCycles pre-seeds the per-class host cycle buckets so
+	// a resumed run's totals continue from the snapshot.
+	ResumeClassCycles map[string]float64
+}
 
 // VM is one host execution.
 type VM struct {
@@ -65,11 +98,15 @@ type VM struct {
 	Output []string
 
 	// Per-class cycle attribution; IssueCycles + ScalarCycles +
-	// ElemCycles + DispatchCycles == Cycles exactly.
+	// ElemCycles + DispatchCycles + StallCycles == Cycles exactly.
 	IssueCycles    float64
 	ScalarCycles   float64
 	ElemCycles     float64
 	DispatchCycles float64
+	StallCycles    float64
+
+	ctl        *Ctl
+	boundaries int
 
 	frames  []frame
 	stopped bool
@@ -81,17 +118,23 @@ type VM struct {
 // re-summed total so the buckets always sum exactly to it.
 func (vm *VM) charge(bucket *float64, cyc float64) {
 	*bucket += cyc
-	vm.Cycles = vm.IssueCycles + vm.ScalarCycles + vm.ElemCycles + vm.DispatchCycles
+	vm.Cycles = vm.IssueCycles + vm.ScalarCycles + vm.ElemCycles + vm.DispatchCycles + vm.StallCycles
 }
 
 // ClassCycles returns the per-class attribution keyed by HostClasses.
+// The stall class appears only when stalls were injected, keeping
+// fault-free reports bit-identical to builds without the fault plane.
 func (vm *VM) ClassCycles() map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		HostIssue:    vm.IssueCycles,
 		HostScalar:   vm.ScalarCycles,
 		HostElem:     vm.ElemCycles,
 		HostDispatch: vm.DispatchCycles,
 	}
+	if vm.StallCycles != 0 {
+		m[HostStall] = vm.StallCycles
+	}
+	return m
 }
 
 type frame struct {
@@ -103,7 +146,31 @@ type stopSignal struct{}
 
 // Run interprets a partitioned program.
 func Run(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks) (vm *VM, err error) {
-	vm = &VM{Store: store, Cost: cost, Hooks: hooks, limit: 500_000_000}
+	return RunCtl(prog, store, cost, hooks, nil)
+}
+
+// RunCtl interprets a partitioned program under an execution control
+// plane. A nil ctl is exactly Run: no injection, no checkpoints, and
+// bit-identical cycle totals.
+func RunCtl(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks, ctl *Ctl) (vm *VM, err error) {
+	vm = &VM{Store: store, Cost: cost, Hooks: hooks, ctl: ctl, limit: 500_000_000}
+	if ctl != nil {
+		vm.Output = append(vm.Output, ctl.ResumeOutput...)
+		for cl, v := range ctl.ResumeClassCycles {
+			switch cl {
+			case HostIssue:
+				vm.charge(&vm.IssueCycles, v)
+			case HostScalar:
+				vm.charge(&vm.ScalarCycles, v)
+			case HostElem:
+				vm.charge(&vm.ElemCycles, v)
+			case HostDispatch:
+				vm.charge(&vm.DispatchCycles, v)
+			case HostStall:
+				vm.charge(&vm.StallCycles, v)
+			}
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(stopSignal); ok {
@@ -114,12 +181,59 @@ func Run(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks) (vm *VM, err
 			panic(r)
 		}
 	}()
-	err = vm.exec(prog.Ops)
+	err = vm.execTop(prog.Ops)
 	return vm, err
 }
 
 // Stopped reports whether the program ended via STOP.
 func (vm *VM) Stopped() bool { return vm.stopped }
+
+// execTop runs the program's top-level op sequence. With a control
+// plane attached it honours the resume position and offers a
+// checkpoint boundary after every top-level op (and, inside top-level
+// serial DO loops, after every iteration).
+func (vm *VM) execTop(ops []fe.Op) error {
+	if vm.ctl == nil {
+		return vm.exec(ops)
+	}
+	for i := vm.ctl.ResumeOp; i < len(ops); i++ {
+		op := ops[i]
+		if ds, ok := op.(fe.DoSerial); ok {
+			// Mirror execOp's decode charge, then run the loop with
+			// iteration-granular boundaries. When resuming inside this
+			// loop the decode charge is already in the snapshot's
+			// buckets, so it must not be re-ticked.
+			resume := i == vm.ctl.ResumeOp && vm.ctl.ResumeInLoop
+			if !resume {
+				if err := vm.tick(); err != nil {
+					return err
+				}
+			}
+			if err := vm.doSerial(ds, resume, i); err != nil {
+				return err
+			}
+		} else if err := vm.execOp(op); err != nil {
+			return err
+		}
+		if err := vm.boundary(i+1, false, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boundary marks one completed top-level unit of work and writes a
+// checkpoint every CheckpointEvery units.
+func (vm *VM) boundary(next int, inLoop bool, iterDone int) error {
+	vm.boundaries++
+	c := vm.ctl
+	if c.CheckpointEvery > 0 && c.Checkpoint != nil && vm.boundaries%c.CheckpointEvery == 0 {
+		if err := c.Checkpoint(vm, next, inLoop, iterDone); err != nil {
+			return fmt.Errorf("hostvm: checkpoint at op %d: %w", next, err)
+		}
+	}
+	return nil
+}
 
 func (vm *VM) exec(ops []fe.Op) error {
 	for _, op := range ops {
@@ -136,6 +250,15 @@ func (vm *VM) tick() error {
 		return fmt.Errorf("hostvm: step limit exceeded")
 	}
 	vm.charge(&vm.IssueCycles, vm.Cost.StatementIssued)
+	if vm.ctl != nil {
+		stall, err := vm.ctl.Faults.HostTick()
+		if stall != 0 {
+			vm.charge(&vm.StallCycles, stall)
+		}
+		if err != nil {
+			return fmt.Errorf("hostvm: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -211,29 +334,45 @@ func (vm *VM) execOp(op fe.Op) error {
 			}
 		}
 	case fe.DoSerial:
-		iv, ok := op.S.(shape.Interval)
-		if !ok {
-			return fmt.Errorf("hostvm: serial iteration over non-interval %v", op.S)
-		}
-		vm.frames = append(vm.frames, frame{s: op.S})
-		fi := len(vm.frames) - 1
-		for i := iv.Lo; i <= iv.Hi; i++ {
-			vm.frames[fi].idx = i
-			if err := vm.exec(op.Body); err != nil {
-				return err
-			}
-			if err := vm.tick(); err != nil {
-				return err
-			}
-		}
-		vm.frames = vm.frames[:fi]
-		return nil
+		return vm.doSerial(op, false, -1)
 	case fe.Print:
 		return vm.print(op)
 	case fe.Stop:
 		panic(stopSignal{})
 	}
 	return fmt.Errorf("hostvm: unknown op %T", op)
+}
+
+// doSerial runs one serial DO. topIdx >= 0 marks a top-level loop run
+// under the control plane: each completed iteration is a checkpoint
+// boundary, and resume restarts at the snapshot's iteration + 1.
+func (vm *VM) doSerial(op fe.DoSerial, resume bool, topIdx int) error {
+	iv, ok := op.S.(shape.Interval)
+	if !ok {
+		return fmt.Errorf("hostvm: serial iteration over non-interval %v", op.S)
+	}
+	lo := iv.Lo
+	if resume {
+		lo = vm.ctl.ResumeIter + 1
+	}
+	vm.frames = append(vm.frames, frame{s: op.S})
+	fi := len(vm.frames) - 1
+	for i := lo; i <= iv.Hi; i++ {
+		vm.frames[fi].idx = i
+		if err := vm.exec(op.Body); err != nil {
+			return err
+		}
+		if err := vm.tick(); err != nil {
+			return err
+		}
+		if topIdx >= 0 {
+			if err := vm.boundary(topIdx, true, i); err != nil {
+				return err
+			}
+		}
+	}
+	vm.frames = vm.frames[:fi]
+	return nil
 }
 
 func (vm *VM) assign(op fe.Assign) error {

@@ -65,6 +65,23 @@ func Observe(r Recorder, name string, value float64) {
 	}
 }
 
+// EventRecorder is an optional Recorder extension for discrete
+// occurrences that are neither durations (spans) nor monotone totals
+// (counters) — e.g. one injected machine fault. Recorders that do not
+// implement it silently drop events.
+type EventRecorder interface {
+	// Event records one named occurrence with numeric attributes.
+	Event(name string, attrs map[string]float64)
+}
+
+// Event records a discrete occurrence on r; recorders without event
+// support (and nil r) drop it.
+func Event(r Recorder, name string, attrs map[string]float64) {
+	if er, ok := r.(EventRecorder); ok {
+		er.Event(name, attrs)
+	}
+}
+
 // Span is one open interval of work. The zero Span (and any Span from a
 // Nop recorder or nil Recorder) is inert: End does nothing.
 type Span struct {
@@ -93,6 +110,14 @@ func (Nop) Add(string, float64) {}
 
 // Observe does nothing.
 func (Nop) Observe(string, float64) {}
+
+// EventRec is one recorded occurrence: a name, a monotonic offset from
+// the collector's epoch, and numeric attributes.
+type EventRec struct {
+	Name  string
+	At    time.Duration
+	Attrs map[string]float64
+}
 
 // SpanRec is one completed (or still-open) span: times are monotonic
 // offsets from the collector's epoch. End is zero while the span is
@@ -143,13 +168,19 @@ func bucketOf(v float64) int {
 // Collector is the recording Recorder. The zero value is not usable;
 // construct with NewCollector.
 type Collector struct {
-	mu       sync.Mutex
-	epoch    time.Time
-	now      func() time.Duration // monotonic offset from epoch
-	spans    []SpanRec
-	counters map[string]float64
-	hists    map[string]*Hist
+	mu            sync.Mutex
+	epoch         time.Time
+	now           func() time.Duration // monotonic offset from epoch
+	spans         []SpanRec
+	counters      map[string]float64
+	hists         map[string]*Hist
+	events        []EventRec
+	eventsDropped int64
 }
+
+// maxEvents bounds the collector's event log; past it, Event only
+// counts the overflow.
+const maxEvents = 65536
 
 // NewCollector returns an empty collector whose epoch is now.
 func NewCollector() *Collector {
@@ -203,6 +234,41 @@ func (c *Collector) Observe(name string, value float64) {
 	h.Count++
 	h.Sum += value
 	h.Buckets[bucketOf(value)]++
+}
+
+// Event implements EventRecorder: it timestamps and records one
+// occurrence, bounded at maxEvents entries.
+func (c *Collector) Event(name string, attrs map[string]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) >= maxEvents {
+		c.eventsDropped++
+		return
+	}
+	var cp map[string]float64
+	if len(attrs) > 0 {
+		cp = make(map[string]float64, len(attrs))
+		for k, v := range attrs {
+			cp[k] = v
+		}
+	}
+	c.events = append(c.events, EventRec{Name: name, At: c.now(), Attrs: cp})
+}
+
+// Events returns the recorded events in record order.
+func (c *Collector) Events() []EventRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EventRec, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// EventsDropped is the number of events past the maxEvents bound.
+func (c *Collector) EventsDropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eventsDropped
 }
 
 // Spans returns the recorded spans in start order.

@@ -15,6 +15,7 @@ func (c *Collector) Report() string {
 	spans := c.Spans()
 	counters := c.Counters()
 	hists := c.Histograms()
+	events := c.Events()
 
 	var b strings.Builder
 	if len(spans) > 0 {
@@ -54,6 +55,36 @@ func (c *Collector) Report() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(&b, "  %-40s %s\n", k, formatCount(counters[k]))
+		}
+	}
+	if len(events) > 0 {
+		// Events are summarized per name (first/last occurrence time);
+		// the full stream is in the trace export.
+		b.WriteString("events:\n")
+		type agg struct {
+			n           int
+			first, last time.Duration
+		}
+		byName := map[string]*agg{}
+		var names []string
+		for _, e := range events {
+			a := byName[e.Name]
+			if a == nil {
+				a = &agg{first: e.At}
+				byName[e.Name] = a
+				names = append(names, e.Name)
+			}
+			a.n++
+			a.last = e.At
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := byName[name]
+			fmt.Fprintf(&b, "  %-40s n=%d first=%.0fµs last=%.0fµs\n",
+				name, a.n, float64(a.first.Microseconds()), float64(a.last.Microseconds()))
+		}
+		if d := c.EventsDropped(); d > 0 {
+			fmt.Fprintf(&b, "  (%d events dropped past the log bound)\n", d)
 		}
 	}
 	if len(hists) > 0 {

@@ -17,6 +17,7 @@ type traceEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -49,6 +50,21 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: s.Name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: 1,
+		})
+	}
+
+	// Events render as instant ("i") marks on the timeline.
+	for _, e := range c.Events() {
+		ts := float64(e.At.Nanoseconds()) / 1e3
+		if ts > last {
+			last = ts
+		}
+		args := make(map[string]any, len(e.Attrs))
+		for k, v := range e.Attrs {
+			args[k] = v
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: e.Name, Ph: "i", Ts: ts, Pid: 1, Tid: 1, S: "t", Args: args,
 		})
 	}
 

@@ -337,9 +337,16 @@ func (p *Parser) parseBlock(terminators ...string) []ast.Stmt {
 				return out
 			}
 		}
+		pos := p.cur().Pos
 		label, s := p.parseLabelledStmt()
 		if label != "" {
-			p.rep.Errorf("parse", s.Position(), "unexpected statement label %s outside labelled DO", label)
+			// A bare label may precede a statement that fails to parse
+			// (s == nil); report at the label's own position then.
+			at := pos
+			if s != nil {
+				at = s.Position()
+			}
+			p.rep.Errorf("parse", at, "unexpected statement label %s outside labelled DO", label)
 		}
 		if s != nil {
 			out = append(out, s)

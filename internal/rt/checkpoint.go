@@ -1,0 +1,146 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"f90y/internal/nir"
+)
+
+// CkptSchema identifies the snapshot format. Bump the version when the
+// layout changes incompatibly; ReadCheckpoint rejects other schemas.
+const CkptSchema = "f90y-ckpt/v1"
+
+// CkptArray is one serialized CM array. Data round-trips exactly:
+// encoding/json renders float64 with enough digits to reproduce the
+// IEEE bit pattern.
+type CkptArray struct {
+	Kind nir.ScalarKind `json:"kind"`
+	Ext  []int          `json:"ext"`
+	Lo   []int          `json:"lo"`
+	Data []float64      `json:"data"`
+}
+
+// Checkpoint is a versioned machine snapshot taken at a host-program
+// boundary: the complete store, the accumulated output and cycle
+// attribution, and the resume position. A run restarted from a
+// checkpoint continues at the boundary and produces the same final
+// store and totals as one that never stopped.
+type Checkpoint struct {
+	Schema  string `json:"schema"`
+	Machine string `json:"machine,omitempty"` // "cm2" or "cm5"
+
+	// Resume position: the next top-level host op to execute. When
+	// InLoop is set, op NextOp is a serial DO whose iterations through
+	// IterDone (inclusive, declared-space index) have completed.
+	NextOp   int  `json:"next_op"`
+	InLoop   bool `json:"in_loop,omitempty"`
+	IterDone int  `json:"iter_done,omitempty"`
+
+	// Accumulated execution state. Totals are carried explicitly —
+	// the class maps need not sum to them (PE routine overheads are
+	// attributed per routine, not per class).
+	Output          []string           `json:"output,omitempty"`
+	Flops           int64              `json:"flops"`
+	NodeCalls       int                `json:"node_calls"`
+	CommCalls       int                `json:"comm_calls"`
+	HostCycles      float64            `json:"host_cycles"`
+	PECycles        float64            `json:"pe_cycles"`
+	CommCycles      float64            `json:"comm_cycles"`
+	PEClassCycles   map[string]float64 `json:"pe_class_cycles,omitempty"`
+	PERoutineCycles map[string]float64 `json:"pe_routine_cycles,omitempty"`
+	CommClassCycles map[string]float64 `json:"comm_class_cycles,omitempty"`
+	HostClassCycles map[string]float64 `json:"host_class_cycles,omitempty"`
+	// Extra carries machine-specific cycle buckets (the CM-5's
+	// three-way split: "vu-cycles", "sparc-cycles", "degrade-cycles").
+	Extra map[string]float64 `json:"extra,omitempty"`
+
+	// The store.
+	Scalars map[string]float64        `json:"scalars"`
+	Kinds   map[string]nir.ScalarKind `json:"kinds"`
+	Arrays  map[string]CkptArray      `json:"arrays"`
+}
+
+// Checkpoint snapshots the store into a fresh Checkpoint (resume
+// position and cycle state left zero for the machine layer to fill).
+func (st *Store) Checkpoint() *Checkpoint {
+	ck := &Checkpoint{
+		Schema:  CkptSchema,
+		Scalars: map[string]float64{},
+		Kinds:   map[string]nir.ScalarKind{},
+		Arrays:  map[string]CkptArray{},
+	}
+	for name, v := range st.Scalars {
+		ck.Scalars[name] = v
+	}
+	for name, k := range st.Kinds {
+		ck.Kinds[name] = k
+	}
+	for name, a := range st.Arrays {
+		ck.Arrays[name] = CkptArray{
+			Kind: a.Kind,
+			Ext:  append([]int(nil), a.Ext...),
+			Lo:   append([]int(nil), a.Lo...),
+			Data: append([]float64(nil), a.Data...),
+		}
+	}
+	return ck
+}
+
+// ApplyStore restores the snapshot's scalars and arrays into a store
+// freshly allocated from the same program. Symbols present in the
+// store but absent from the snapshot keep their zero initialization.
+func (ck *Checkpoint) ApplyStore(st *Store) error {
+	for name, v := range ck.Scalars {
+		if _, ok := st.Scalars[name]; !ok {
+			return fmt.Errorf("rt: checkpoint scalar %q not in program: %w", name, ErrUndefined)
+		}
+		st.Scalars[name] = v
+	}
+	for name, ca := range ck.Arrays {
+		a, ok := st.Arrays[name]
+		if !ok {
+			return fmt.Errorf("rt: checkpoint array %q not in program: %w", name, ErrUndefined)
+		}
+		if len(a.Data) != len(ca.Data) {
+			return fmt.Errorf("rt: checkpoint array %q has %d elements, program declares %d: %w",
+				name, len(ca.Data), len(a.Data), ErrShape)
+		}
+		copy(a.Data, ca.Data)
+	}
+	return nil
+}
+
+// Write serializes the checkpoint to path atomically (write to a
+// temporary file in the same directory, then rename).
+func (ck *Checkpoint) Write(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("rt: encode checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("rt: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rt: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads and validates a snapshot written by Write.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rt: read checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("rt: decode checkpoint %s: %w", path, err)
+	}
+	if ck.Schema != CkptSchema {
+		return nil, fmt.Errorf("rt: checkpoint %s has schema %q, want %q", path, ck.Schema, CkptSchema)
+	}
+	return ck, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"f90y/internal/faults"
 	"f90y/internal/nir"
 	"f90y/internal/shape"
 )
@@ -61,6 +62,23 @@ type Comm struct {
 	// ClassCycles attributes Cycles per communication class (CommGrid,
 	// CommRouter, CommReduce); the class values sum exactly to Cycles.
 	ClassCycles map[string]float64
+	// Faults, when non-nil, subjects every transfer to the injection
+	// plane: drops and corruptions are detected (ack timeout,
+	// per-transfer checksum) and retried with capped exponential
+	// backoff, each retry charging extra cycles into the transfer's
+	// class bucket. Nil costs one branch per transfer and leaves every
+	// cycle total bit-identical to a fault-free build.
+	Faults *faults.Injector
+}
+
+// Restore pre-seeds the per-class cycle attribution (and the re-summed
+// total) from a checkpoint, so a resumed run's totals continue from the
+// snapshot.
+func (c *Comm) Restore(classCycles map[string]float64, calls int) {
+	for cl, v := range classCycles {
+		c.charge(cl, v)
+	}
+	c.Calls = calls
 }
 
 // charge attributes cyc to one communication class. Cycles is kept as
@@ -100,11 +118,11 @@ func (c *Comm) ExecMove(m nir.Move) error {
 func (c *Comm) arrayArg(v nir.Value, what string) (*Array, error) {
 	av, ok := v.(nir.AVar)
 	if !ok {
-		return nil, fmt.Errorf("rt: %s must be an array reference", what)
+		return nil, fmt.Errorf("rt: %s must be an array reference: %w", what, ErrBadOperand)
 	}
 	a, ok := c.Store.Arrays[av.Name]
 	if !ok {
-		return nil, fmt.Errorf("rt: undefined array %q", av.Name)
+		return nil, fmt.Errorf("rt: undefined array %q: %w", av.Name, ErrUndefined)
 	}
 	return a, nil
 }
@@ -117,11 +135,11 @@ func (c *Comm) scalarArg(v nir.Value) (float64, error) {
 func (c *Comm) targetArray(tgt nir.Value) (*Array, error) {
 	av, ok := tgt.(nir.AVar)
 	if !ok {
-		return nil, fmt.Errorf("rt: intrinsic target must be an array")
+		return nil, fmt.Errorf("rt: intrinsic target must be an array: %w", ErrBadOperand)
 	}
 	a, ok := c.Store.Arrays[av.Name]
 	if !ok {
-		return nil, fmt.Errorf("rt: undefined array %q", av.Name)
+		return nil, fmt.Errorf("rt: undefined array %q: %w", av.Name, ErrUndefined)
 	}
 	return a, nil
 }
@@ -140,7 +158,7 @@ func (c *Comm) execIntrinsic(fc nir.FcnCall, tgt nir.Value) error {
 	case "cm_dot":
 		return c.execDot(fc, tgt)
 	}
-	return fmt.Errorf("rt: unknown runtime intrinsic %q", fc.Name)
+	return fmt.Errorf("rt: unknown runtime intrinsic %q: %w", fc.Name, ErrBadOperand)
 }
 
 // execShift implements circular and end-off grid shifts over the NEWS
@@ -175,12 +193,12 @@ func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
 		return err
 	}
 	if out.Size() != src.Size() {
-		return fmt.Errorf("rt: shift target size mismatch")
+		return fmt.Errorf("rt: shift target size %w", ErrShape)
 	}
 
 	d := dim - 1
 	if d < 0 || d >= src.Rank() {
-		return fmt.Errorf("rt: shift dim %d out of range", dim)
+		return fmt.Errorf("rt: shift dim %d out of range: %w", dim, ErrShape)
 	}
 	n := src.Ext[d]
 	strideBelow := 1
@@ -199,15 +217,13 @@ func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
 		}
 		tmp[off] = src.Data[off+(j-i)*strideBelow]
 	}
-	copy(out.Data, tmp)
 
 	// Cost: local block rotate plus wire traffic for boundary-crossing
 	// elements, one charge per PE-grid step travelled.
 	l := c.layoutOf(src)
 	sub := float64(l.SubgridSize())
 	hops := math.Abs(float64(shift))
-	c.charge(CommGrid, c.Cost.GridStartup+sub*c.Cost.GridLocal+sub*l.OffPEFraction(d)*c.Cost.GridWire*hops)
-	return nil
+	return c.deliverArray(CommGrid, c.Cost.GridStartup+sub*c.Cost.GridLocal+sub*l.OffPEFraction(d)*c.Cost.GridWire*hops, out, tmp)
 }
 
 func (c *Comm) execReduce(fc nir.FcnCall, tgt nir.Value) error {
@@ -263,14 +279,13 @@ func (c *Comm) execReduce(fc nir.FcnCall, tgt nir.Value) error {
 	}
 	sv, ok := tgt.(nir.SVar)
 	if !ok {
-		return fmt.Errorf("rt: reduction target must be scalar")
+		return fmt.Errorf("rt: reduction target must be scalar: %w", ErrBadOperand)
 	}
-	c.Store.SetScalar(sv.Name, acc)
 
 	l := c.layoutOf(src)
-	c.charge(CommReduce, c.Cost.ReduceStartup+float64(l.SubgridSize())*c.Cost.ReducePerElem+
-		math.Log2(float64(c.PEs))*c.Cost.HopCost)
-	return nil
+	cyc := c.Cost.ReduceStartup + float64(l.SubgridSize())*c.Cost.ReducePerElem +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return c.deliverScalar(CommReduce, cyc, src.Size(), sv.Name, acc)
 }
 
 func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
@@ -283,17 +298,17 @@ func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
 		return err
 	}
 	if src.Rank() != 2 || out.Size() != src.Size() {
-		return fmt.Errorf("rt: transpose shape mismatch")
+		return fmt.Errorf("rt: transpose %w", ErrShape)
 	}
 	r, cl := src.Ext[0], src.Ext[1]
+	tmp := make([]float64, src.Size())
 	for j := 0; j < cl; j++ {
 		for i := 0; i < r; i++ {
-			out.Data[j+i*cl] = src.Data[i+j*r]
+			tmp[j+i*cl] = src.Data[i+j*r]
 		}
 	}
 	l := c.layoutOf(src)
-	c.charge(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem)
-	return nil
+	return c.deliverArray(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem, out, tmp)
 }
 
 func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
@@ -326,6 +341,7 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 	_ = srcLo
 	// Walk the output; drop the spread dimension to find the source
 	// element.
+	tmp := make([]float64, out.Size())
 	idx := make([]int, out.Rank())
 	for off := 0; off < out.Size(); off++ {
 		sOff, stride := 0, 1
@@ -343,7 +359,7 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 		if len(srcData) == 1 {
 			sOff = 0
 		}
-		out.Data[off] = srcData[sOff]
+		tmp[off] = srcData[sOff]
 		for d := 0; d < out.Rank(); d++ {
 			idx[d]++
 			if idx[d] < out.Ext[d] {
@@ -353,9 +369,9 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 		}
 	}
 	l := c.layoutOf(out)
-	c.charge(CommGrid, c.Cost.GridStartup+float64(l.SubgridSize())*c.Cost.GridLocal+
-		math.Log2(float64(c.PEs))*c.Cost.HopCost)
-	return nil
+	cyc := c.Cost.GridStartup + float64(l.SubgridSize())*c.Cost.GridLocal +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return c.deliverArray(CommGrid, cyc, out, tmp)
 }
 
 func (c *Comm) execDot(fc nir.FcnCall, tgt nir.Value) error {
@@ -368,7 +384,7 @@ func (c *Comm) execDot(fc nir.FcnCall, tgt nir.Value) error {
 		return err
 	}
 	if a.Size() != b.Size() {
-		return fmt.Errorf("rt: dot_product size mismatch")
+		return fmt.Errorf("rt: dot_product size %w", ErrShape)
 	}
 	acc := 0.0
 	if a.Kind == nir.Integer32 && b.Kind == nir.Integer32 {
@@ -382,11 +398,10 @@ func (c *Comm) execDot(fc nir.FcnCall, tgt nir.Value) error {
 	}
 	sv, ok := tgt.(nir.SVar)
 	if !ok {
-		return fmt.Errorf("rt: dot_product target must be scalar")
+		return fmt.Errorf("rt: dot_product target must be scalar: %w", ErrBadOperand)
 	}
-	c.Store.SetScalar(sv.Name, acc)
 	l := c.layoutOf(a)
-	c.charge(CommReduce, c.Cost.ReduceStartup+float64(l.SubgridSize())*(c.Cost.GridLocal+c.Cost.ReducePerElem)+
-		math.Log2(float64(c.PEs))*c.Cost.HopCost)
-	return nil
+	cyc := c.Cost.ReduceStartup + float64(l.SubgridSize())*(c.Cost.GridLocal+c.Cost.ReducePerElem) +
+		math.Log2(float64(c.PEs))*c.Cost.HopCost
+	return c.deliverScalar(CommReduce, cyc, a.Size(), sv.Name, acc)
 }

@@ -1,0 +1,19 @@
+package rt
+
+import "errors"
+
+// Sentinel errors for the runtime system, matched by callers with
+// errors.Is. Every error the communication layer returns wraps exactly
+// one of these (or a faults.* sentinel for injected failures), so
+// tooling can classify failures without string matching.
+var (
+	// ErrBadOperand reports a runtime call whose operand has the wrong
+	// kind: an array where a scalar is required, a non-array reference
+	// fed to an array intrinsic, an unsupported move target.
+	ErrBadOperand = errors.New("bad operand")
+	// ErrUndefined reports a reference to a name absent from the store.
+	ErrUndefined = errors.New("undefined name")
+	// ErrShape reports non-conforming extents: size mismatches, shift
+	// dimensions out of range, transposes of non-matrices.
+	ErrShape = errors.New("shape mismatch")
+)

@@ -16,7 +16,7 @@ import (
 // before any element is stored.
 func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 	if over == nil {
-		return fmt.Errorf("rt: scalar move routed to communication")
+		return fmt.Errorf("rt: scalar move routed to communication: %w", ErrBadOperand)
 	}
 	ext := shape.Extents(over)
 	lo := shape.Lowers(over)
@@ -38,7 +38,7 @@ func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 	ctx.Elem = func(av nir.AVar) (float64, nir.ScalarKind, error) {
 		arr, ok := c.Store.Arrays[av.Name]
 		if !ok {
-			return 0, 0, fmt.Errorf("rt: undefined array %q", av.Name)
+			return 0, 0, fmt.Errorf("rt: undefined array %q: %w", av.Name, ErrUndefined)
 		}
 		off, err := c.resolve(av, arr, idx, lo, pos, ctx)
 		if err != nil {
@@ -47,20 +47,15 @@ func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 		return arr.Data[off], arr.Kind, nil
 	}
 
-	type write struct {
-		arr *Array
-		off int
-		val float64
-	}
-	writes := make([]write, 0, n)
+	writes := make([]commWrite, 0, n)
 
 	tgtAV, ok := g.Tgt.(nir.AVar)
 	if !ok {
-		return fmt.Errorf("rt: parallel move target must be an array, got %s", nir.PrintValue(g.Tgt))
+		return fmt.Errorf("rt: parallel move target must be an array, got %s: %w", nir.PrintValue(g.Tgt), ErrBadOperand)
 	}
 	tgtArr, ok := c.Store.Arrays[tgtAV.Name]
 	if !ok {
-		return fmt.Errorf("rt: undefined array %q", tgtAV.Name)
+		return fmt.Errorf("rt: undefined array %q: %w", tgtAV.Name, ErrUndefined)
 	}
 
 	for p := 0; p < n; p++ {
@@ -82,7 +77,7 @@ func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 			if err != nil {
 				return err
 			}
-			writes = append(writes, write{arr: tgtArr, off: off, val: v})
+			writes = append(writes, commWrite{arr: tgtArr, off: off, val: v})
 		}
 		// Column-major increment.
 		for d := range idx {
@@ -93,13 +88,8 @@ func (c *Comm) generalMove(over shape.Shape, g nir.GuardedMove) error {
 			idx[d] = lo[d]
 		}
 	}
-	for _, w := range writes {
-		w.arr.StoreVal(w.off, w.val)
-	}
-
 	l := shape.Blockwise(over, c.PEs)
-	c.charge(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem)
-	return nil
+	return c.deliverWrites(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem, writes)
 }
 
 // resolve maps an array reference to the storage offset selected by the
