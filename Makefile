@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke determinism bench clean
+.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency bench bench-batch clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
-# build, the race-enabled test suite, a machine-readable benchmark
-# smoke run, a short fuzz of the front end, and the fault-plane
-# determinism tests.
-check: vet build race smoke fuzz-smoke determinism
+# build, the race-enabled test suite, the race-enabled concurrency
+# tests (driver cache, batch executor, cancellation), machine-readable
+# benchmark smoke runs (serial and batch mode), a short fuzz of the
+# front end, and the fault-plane determinism tests.
+check: vet build race concurrency smoke fuzz-smoke determinism
 
 vet:
 	$(GO) vet ./...
@@ -22,9 +23,16 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# Smoke-test the f90y-bench/v1 JSON writer end to end.
+# Race-enabled concurrency gate: shared-artifact determinism, compile
+# cache singleflight, batch serial/parallel identity, cancellation.
+concurrency:
+	$(GO) test -race -run Concurrent ./...
+
+# Smoke-test the f90y-bench/v1 JSON writer end to end, serial and with
+# the parallel batch pool.
 smoke:
 	$(GO) run ./cmd/swebench -json -n 128 -steps 2 -o .bench-smoke.json
+	$(GO) run ./cmd/swebench -json -parallel 4 -n 128 -steps 2 -o .bench-smoke.json
 	rm -f .bench-smoke.json
 
 # Short fuzz of the parser and the whole compile pipeline (~20s). The
@@ -40,6 +48,11 @@ determinism:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Time the full experiment suite serial vs parallel and write the
+# f90y-batch/v1 comparison record.
+bench-batch:
+	$(GO) run ./cmd/swebench -bench-batch -o BENCH_batch.json
 
 clean:
 	rm -f BENCH_*.json .bench-smoke.json

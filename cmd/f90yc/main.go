@@ -19,17 +19,21 @@
 // attribution counters; the trace file loads in chrome://tracing or
 // ui.perfetto.dev. When any of -v/-metrics/-trace is given, -dump
 // defaults to none.
+//
+// Compilation goes through internal/driver — the same cached service
+// layer behind f90yrun and swebench — so flag semantics and fault-spec
+// parsing cannot drift between the commands.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"f90y"
 	"f90y/internal/ast"
-	"f90y/internal/cm2"
-	"f90y/internal/faults"
+	"f90y/internal/driver"
 	"f90y/internal/fe"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -44,7 +48,7 @@ var (
 	flagV       = flag.Bool("v", false, "print the compilation phase/counter report to stderr")
 	flagMetrics = flag.Bool("metrics", false, "run the program and print the full telemetry report")
 	flagTrace   = flag.String("trace", "", "run the program and write a Chrome trace_event JSON file")
-	flagFaults  = flag.String("faults", "", "fault-injection spec for -metrics/-trace runs, e.g. seed=7,drop=0.001")
+	flagFaults  = flag.String("faults", "", driver.FaultsHelp)
 )
 
 func main() {
@@ -70,12 +74,11 @@ func main() {
 
 	// Telemetry requests share one collector; stats dumps render from it
 	// too, so there is a single formatting path for phase statistics.
-	wantObs := *flagV || *flagMetrics || *flagTrace != "" || *flagDump == "stats"
-	var col *obs.Collector
-	if wantObs {
-		col = obs.NewCollector()
-		cfg.Obs = col
+	tel := driver.NewTelemetry(*flagMetrics, *flagTrace)
+	if (*flagV || *flagDump == "stats") && tel.Col == nil {
+		tel.Col = obs.NewCollector()
 	}
+	cfg.Obs = tel.Recorder()
 
 	// Telemetry flags change the default output from a peac dump to none;
 	// an explicit -dump still wins.
@@ -84,26 +87,24 @@ func main() {
 		dump = "none"
 	}
 
-	comp, err := f90y.Compile(file, string(src), cfg)
+	ctx := context.Background()
+	art, err := driver.New(1).Compile(ctx, file, string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	comp := art.Comp
 
 	// -metrics/-trace execute the program so the report and trace carry
 	// the exec span and cycle attribution (and, with -faults, the
 	// injected-fault events and recovery counters).
 	if *flagMetrics || *flagTrace != "" {
-		plan, err := faults.ParseSpec(*flagFaults)
+		ctl, err := driver.ControlOptions{Faults: *flagFaults}.Build(file, cfg.Obs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "f90yc:", err)
 			os.Exit(2)
 		}
-		var ctl *cm2.Control
-		if plan != nil {
-			ctl = &cm2.Control{Faults: faults.New(plan, cfg.Obs)}
-		}
-		res, err := comp.RunCtl(ctl)
+		res, err := comp.RunCtlCtx(ctx, ctl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "f90yc:", err)
 			os.Exit(1)
@@ -129,33 +130,20 @@ func main() {
 	case "host":
 		printHost(comp.Program.Ops, 0)
 	case "stats":
-		fmt.Print(col.Report())
+		fmt.Print(tel.Col.Report())
 	default:
 		fmt.Fprintf(os.Stderr, "f90yc: unknown dump %q\n", dump)
 		os.Exit(2)
 	}
 
 	if *flagMetrics {
-		fmt.Print(col.Report())
+		fmt.Print(tel.Col.Report())
 	} else if *flagV && dump != "stats" {
-		fmt.Fprint(os.Stderr, col.Report())
+		fmt.Fprint(os.Stderr, tel.Col.Report())
 	}
-	if *flagTrace != "" {
-		f, err := os.Create(*flagTrace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yc:", err)
-			os.Exit(1)
-		}
-		if err := col.WriteTrace(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yc:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *flagTrace)
+	if err := tel.WriteTrace(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "f90yc:", err)
+		os.Exit(1)
 	}
 }
 

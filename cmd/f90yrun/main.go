@@ -5,24 +5,31 @@
 // Usage:
 //
 //	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json]
-//	        [-faults spec] [-checkpoint-every N] [-checkpoint ckpt.json]
-//	        [-resume ckpt.json] file.f90
+//	        [-timeout 30s] [-faults spec] [-checkpoint-every N]
+//	        [-checkpoint ckpt.json] [-resume ckpt.json] file.f90
 //
 // With -verify the result is also checked elementwise against the
 // reference interpreter. -metrics prints the phase/counter telemetry
 // report (compile spans plus execution cycle attribution) to stderr;
 // -trace writes the same telemetry as Chrome trace_event JSON.
 //
-// -faults attaches a deterministic fault-injection plan, e.g.
-// "seed=7,pe=0.01,drop=0.001,fatal=200" (see internal/faults.ParseSpec
-// for the full key list). -checkpoint-every N snapshots the machine to
-// -checkpoint (default <file>.ckpt.json) every N host boundaries;
-// -resume restarts a run from such a snapshot — a run killed by an
-// injected fatal fault continues from its last checkpoint and produces
-// the same final store as an uninterrupted run.
+// -timeout bounds the whole compile+run: past the deadline the run
+// stops at the next host-op boundary with an error wrapping
+// f90y.ErrCanceled (exit status 3).
+//
+// -faults attaches a deterministic fault-injection plan (see
+// internal/faults.ParseSpec for the full key list). -checkpoint-every N
+// snapshots the machine to -checkpoint (default <file>.ckpt.json) every
+// N host boundaries; -resume restarts a run from such a snapshot — a
+// run killed by an injected fatal fault continues from its last
+// checkpoint and produces the same final store as an uninterrupted run.
+//
+// The command is a thin shell over internal/driver, the same service
+// layer swebench's batch mode uses.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,11 +38,10 @@ import (
 	"strings"
 
 	"f90y"
-	"f90y/internal/cm2"
 	"f90y/internal/cm5"
+	"f90y/internal/driver"
 	"f90y/internal/faults"
 	"f90y/internal/interp"
-	"f90y/internal/obs"
 	"f90y/internal/rt"
 )
 
@@ -45,57 +51,25 @@ var (
 	flagVerify  = flag.Bool("verify", false, "check results against the reference interpreter")
 	flagMetrics = flag.Bool("metrics", false, "print the telemetry report to stderr")
 	flagTrace   = flag.String("trace", "", "write a Chrome trace_event JSON file")
-	flagFaults  = flag.String("faults", "", "fault-injection spec, e.g. seed=7,pe=0.01,drop=0.001")
+	flagTimeout = flag.Duration("timeout", 0, "abort the compile+run after this duration (0 = no limit)")
+	flagFaults  = flag.String("faults", "", driver.FaultsHelp)
 	flagCkEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N host boundaries (0 = off)")
 	flagCkPath  = flag.String("checkpoint", "", "checkpoint file path (default <file>.ckpt.json)")
 	flagResume  = flag.String("resume", "", "resume from a checkpoint file")
 )
 
-// control assembles the execution control plane from the fault and
-// checkpoint flags; nil when none are in play (the zero-overhead path).
-func control(file string, rec obs.Recorder) *cm2.Control {
-	plan, err := faults.ParseSpec(*flagFaults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "f90yrun:", err)
-		os.Exit(2)
-	}
-	if plan == nil && *flagCkEvery == 0 && *flagResume == "" {
-		return nil
-	}
-	ctl := &cm2.Control{Faults: faults.New(plan, rec), CheckpointEvery: *flagCkEvery}
-	if *flagCkEvery > 0 {
-		path := *flagCkPath
-		if path == "" {
-			path = file + ".ckpt.json"
-		}
-		ctl.Checkpoint = func(ck *rt.Checkpoint) error { return ck.Write(path) }
-	}
-	if *flagResume != "" {
-		ck, err := rt.ReadCheckpoint(*flagResume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yrun:", err)
-			os.Exit(1)
-		}
-		ctl.Resume = ck
-	}
-	return ctl
-}
-
 // fail reports a run error; an injected fatal fault points at the
-// checkpoint so the user knows the run is resumable.
-func fail(err error) {
+// checkpoint so the user knows the run is resumable, and a deadline
+// expiry exits with a distinct status.
+func fail(file string, err error) {
 	fmt.Fprintln(os.Stderr, "f90yrun:", err)
 	if errors.Is(err, faults.ErrFatal) && *flagCkEvery > 0 {
-		fmt.Fprintln(os.Stderr, "f90yrun: resume with -resume", ckptPath())
+		fmt.Fprintln(os.Stderr, "f90yrun: resume with -resume", driver.CheckpointPath(file, *flagCkPath))
+	}
+	if errors.Is(err, f90y.ErrCanceled) {
+		os.Exit(3)
 	}
 	os.Exit(1)
-}
-
-func ckptPath() string {
-	if *flagCkPath != "" {
-		return *flagCkPath
-	}
-	return flag.Arg(0) + ".ckpt.json"
 }
 
 func main() {
@@ -111,86 +85,75 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := f90y.DefaultConfig()
-	cfg.Machine.PEs = *flagPEs
-	var col *obs.Collector
-	if *flagMetrics || *flagTrace != "" {
-		col = obs.NewCollector()
-		cfg.Obs = col
-	}
-	comp, err := f90y.Compile(file, string(src), cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	ctx := context.Background()
+	if *flagTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *flagTimeout)
+		defer cancel()
 	}
 
-	ctl := control(file, cfg.Obs)
-	var output []string
+	tel := driver.NewTelemetry(*flagMetrics, *flagTrace)
+	cfg := f90y.DefaultConfig()
+	cfg.Machine.PEs = *flagPEs
+	cfg.Obs = tel.Recorder()
+
+	ctl, err := driver.ControlOptions{
+		Faults:          *flagFaults,
+		CheckpointEvery: *flagCkEvery,
+		CheckpointPath:  *flagCkPath,
+		ResumePath:      *flagResume,
+	}.Build(file, cfg.Obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun:", err)
+		os.Exit(2)
+	}
+
+	cm5m := cm5.Default()
+	svc := driver.New(1)
+	res := svc.Run(ctx, driver.Job{
+		Name:   file,
+		File:   file,
+		Source: string(src),
+		Config: cfg,
+		Target: *flagTarget,
+		CM5:    cm5m,
+		Ctl:    ctl,
+	})
+	if res.Err != nil {
+		fail(file, res.Err)
+	}
+
 	var report string
-	var stats *faults.Stats
-	switch *flagTarget {
-	case "cm2":
-		res, err := comp.RunCtl(ctl)
-		if err != nil {
-			fail(err)
-		}
-		output = res.Output
-		stats = res.Faults
+	switch {
+	case res.CM2 != nil:
+		r := res.CM2
 		report = fmt.Sprintf(
 			"cm2: %d PEs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls, %d comm calls\n"+
 				"cycles: pe %.0f, comm %.0f, host %.0f | flops %d",
-			cfg.Machine.PEs, cfg.Machine.ClockHz/1e6, res.Seconds()*1e3, res.GFLOPS(),
-			res.NodeCalls, res.CommCalls, res.PECycles, res.CommCycles, res.HostCycles, res.Flops)
-		if *flagVerify {
-			verify(file, string(src), res.Store.Arrays)
-		}
-	case "cm5":
-		m := cm5.Default()
-		span := obs.Start(cfg.Obs, "exec")
-		res, err := m.RunCtl(comp.Program, cfg.Obs, ctl)
-		span.End()
-		if err != nil {
-			fail(err)
-		}
-		output = res.Output
-		stats = res.Faults
+			cfg.Machine.PEs, cfg.Machine.ClockHz/1e6, r.Seconds()*1e3, r.GFLOPS(),
+			r.NodeCalls, r.CommCalls, r.PECycles, r.CommCycles, r.HostCycles, r.Flops)
+	case res.CM5 != nil:
+		r := res.CM5
 		report = fmt.Sprintf(
 			"cm5: %d nodes x %d VUs @ %.0f MHz | %.3f modeled ms | %.2f GFLOPS | %d node calls",
-			m.Nodes, m.VUsPerNode, m.ClockHz/1e6, res.Seconds()*1e3, res.GFLOPS(), res.NodeCalls)
-		if *flagVerify {
-			verify(file, string(src), res.Store.Arrays)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "f90yrun: unknown target %q\n", *flagTarget)
-		os.Exit(2)
+			cm5m.Nodes, cm5m.VUsPerNode, cm5m.ClockHz/1e6, r.Seconds()*1e3, r.GFLOPS(), r.NodeCalls)
 	}
-	if stats != nil {
-		report += "\n" + faultLine(stats)
+	common := res.Result()
+	if common.Faults != nil {
+		report += "\n" + faultLine(common.Faults)
+	}
+	if *flagVerify {
+		verify(file, string(src), common.Store.Arrays)
 	}
 
-	for _, line := range output {
+	for _, line := range common.Output {
 		fmt.Println(line)
 	}
 	fmt.Fprintln(os.Stderr, report)
-	if *flagMetrics {
-		fmt.Fprint(os.Stderr, col.Report())
-	}
-	if *flagTrace != "" {
-		f, err := os.Create(*flagTrace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yrun:", err)
-			os.Exit(1)
-		}
-		if err := col.WriteTrace(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "f90yrun:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "trace written to %s\n", *flagTrace)
+	tel.Report(os.Stderr)
+	if err := tel.WriteTrace(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun:", err)
+		os.Exit(1)
 	}
 }
 

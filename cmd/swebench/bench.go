@@ -1,0 +1,92 @@
+package main
+
+// -bench-batch: time the whole experiment suite serial versus parallel
+// and write one "f90y-batch/v1" record. Each pass uses a fresh compile
+// cache so the comparison is pool-vs-no-pool, not cold-vs-warm cache,
+// and the two outputs are compared byte-for-byte as a determinism
+// check.
+//
+//	{
+//	  "schema": "f90y-batch/v1",
+//	  "n": 1024, "steps": 4,
+//	  "experiments": ["e1", ..., "e7"],
+//	  "workers": 8,                 pool size of the parallel pass
+//	  "serial_ms": 61234.5,         wall-clock, workers=1
+//	  "parallel_ms": 17890.1,       wall-clock, workers=N
+//	  "speedup": 3.42,              serial_ms / parallel_ms
+//	  "output_bytes": 4096,         rendered table bytes per pass
+//	  "identical": true             parallel output == serial output
+//	}
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"f90y/internal/driver"
+)
+
+type batchRecord struct {
+	Schema      string   `json:"schema"`
+	N           int      `json:"n"`
+	Steps       int      `json:"steps"`
+	Experiments []string `json:"experiments"`
+	Workers     int      `json:"workers"`
+	SerialMS    float64  `json:"serial_ms"`
+	ParallelMS  float64  `json:"parallel_ms"`
+	Speedup     float64  `json:"speedup"`
+	OutputBytes int      `json:"output_bytes"`
+	Identical   bool     `json:"identical"`
+}
+
+// runBenchBatch times the full suite serially and on a workers-wide
+// pool (workers <= 1 selects GOMAXPROCS) and writes the comparison
+// record to path (default BENCH_batch.json).
+func runBenchBatch(path string, n, steps, workers int) error {
+	if path == "" {
+		path = "BENCH_batch.json"
+	}
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var ids []string
+	for _, e := range experiments {
+		ids = append(ids, e.id)
+	}
+
+	pass := func(w int) (time.Duration, []byte, error) {
+		var buf bytes.Buffer
+		start := time.Now()
+		err := runSuite(&buf, driver.New(w), ids, n, steps, w)
+		return time.Since(start), buf.Bytes(), err
+	}
+
+	serialDur, serialOut, err := pass(1)
+	if err != nil {
+		return err
+	}
+	parallelDur, parallelOut, err := pass(workers)
+	if err != nil {
+		return err
+	}
+
+	rec := batchRecord{
+		Schema:      "f90y-batch/v1",
+		N:           n,
+		Steps:       steps,
+		Experiments: ids,
+		Workers:     workers,
+		SerialMS:    float64(serialDur.Nanoseconds()) / 1e6,
+		ParallelMS:  float64(parallelDur.Nanoseconds()) / 1e6,
+		Speedup:     float64(serialDur) / float64(parallelDur),
+		OutputBytes: len(serialOut),
+		Identical:   bytes.Equal(serialOut, parallelOut),
+	}
+	if err := writeRecord(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("%s (serial %.0f ms, parallel %.0f ms on %d workers, %.2fx, identical=%v)\n",
+		path, rec.SerialMS, rec.ParallelMS, workers, rec.Speedup, rec.Identical)
+	return nil
+}

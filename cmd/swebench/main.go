@@ -5,25 +5,41 @@
 // Usage:
 //
 //	swebench [-n 1024] [-steps 4] [-experiment e1|e2|e3|e4|e5|e6|e7|all]
-//	swebench -json [-o BENCH_swe.json] [-n 1024] [-steps 4]
+//	         [-parallel N]
+//	swebench -json [-parallel N] [-o BENCH_swe.json] [-n 1024] [-steps 4]
+//	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
+//
+// With -parallel N the seven experiments run concurrently on an
+// N-worker pool (N < 1 selects GOMAXPROCS): each experiment renders
+// into its own buffer, buffers print in experiment order, and every
+// table is byte-identical to a serial run — the experiments share one
+// compile cache (internal/driver) but no mutable run state.
 //
 // With -json the SWE benchmark runs once with full telemetry and a
 // machine-readable record (schema "f90y-bench/v1", see json.go) is
 // written to -o (default BENCH_swe_n<N>_s<steps>.json); the output path
-// is printed to stdout.
+// is printed to stdout. -parallel runs the three measured systems
+// (Fortran-90-Y, CM Fortran model, *Lisp model) concurrently.
+//
+// With -bench-batch the whole suite is timed twice — serial, then on
+// the parallel pool — and a "f90y-batch/v1" record comparing the two
+// wall-clocks is written to -o (default BENCH_batch.json).
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sync"
 
 	"f90y"
 	"f90y/internal/cm2"
 	"f90y/internal/cm5"
 	"f90y/internal/cmf"
-	"f90y/internal/faults"
-	"f90y/internal/nir"
+	"f90y/internal/driver"
 	"f90y/internal/opt"
 	"f90y/internal/pe"
 	"f90y/internal/peac"
@@ -32,45 +48,110 @@ import (
 )
 
 var (
-	flagN     = flag.Int("n", 1024, "SWE grid edge")
-	flagSteps = flag.Int("steps", 4, "SWE time steps")
-	flagExp   = flag.String("experiment", "all", "experiment id: e1..e7 or all")
-	flagJSON   = flag.Bool("json", false, "write a machine-readable benchmark record instead of tables")
-	flagOut    = flag.String("o", "", "output path for -json (default BENCH_swe_n<N>_s<steps>.json)")
-	flagFaults = flag.String("faults", "", "fault-injection spec for the -json run, e.g. seed=7,pe=0.02")
+	flagN          = flag.Int("n", 1024, "SWE grid edge")
+	flagSteps      = flag.Int("steps", 4, "SWE time steps")
+	flagExp        = flag.String("experiment", "all", "experiment id: e1..e7 or all")
+	flagJSON       = flag.Bool("json", false, "write a machine-readable benchmark record instead of tables")
+	flagOut        = flag.String("o", "", "output path for -json/-bench-batch (defaults depend on mode)")
+	flagFaults     = flag.String("faults", "", driver.FaultsHelp)
+	flagParallel   = flag.Int("parallel", 0, "run experiments concurrently on an N-worker pool (0 = serial, <0 = GOMAXPROCS)")
+	flagBenchBatch = flag.Bool("bench-batch", false, "time the suite serial vs parallel and write a f90y-batch/v1 record")
 )
+
+// experiment is one reproduction: it renders its table to w, running
+// compiles and executions through the shared service.
+type experiment struct {
+	id string
+	fn func(w io.Writer, svc *driver.Service, n, steps int) error
+}
+
+// experiments lists the suite in presentation order.
+var experiments = []experiment{
+	{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6}, {"e7", e7},
+}
 
 func main() {
 	flag.Parse()
+	workers := *flagParallel
+	if *flagBenchBatch {
+		if err := runBenchBatch(*flagOut, *flagN, *flagSteps, workers); err != nil {
+			die(err)
+		}
+		return
+	}
 	if *flagJSON {
-		plan, err := faults.ParseSpec(*flagFaults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "swebench:", err)
-			os.Exit(2)
-		}
-		path := *flagOut
-		if path == "" {
-			path = fmt.Sprintf("BENCH_swe_n%d_s%d.json", *flagN, *flagSteps)
-		}
-		writeJSON(path, plan)
+		writeJSON(*flagOut, *flagN, *flagSteps, workers)
 		return
 	}
-	exps := map[string]func(){
-		"e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5, "e6": e6, "e7": e7,
-	}
+
+	ids := []string{}
 	if *flagExp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
-			exps[id]()
-			fmt.Println()
+		for _, e := range experiments {
+			ids = append(ids, e.id)
 		}
-		return
+	} else {
+		ids = append(ids, *flagExp)
 	}
-	run, ok := exps[*flagExp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *flagExp)
-		os.Exit(2)
+	svc := driver.New(workers)
+	if err := runSuite(os.Stdout, svc, ids, *flagN, *flagSteps, workers); err != nil {
+		die(err)
 	}
-	run()
+}
+
+// runSuite executes the named experiments against one shared service.
+// workers > 1 runs them concurrently, each into a private buffer;
+// buffers flush to w in experiment order, so the bytes written are
+// identical to a serial run.
+func runSuite(w io.Writer, svc *driver.Service, ids []string, n, steps, workers int) error {
+	byID := map[string]func(io.Writer, *driver.Service, int, int) error{}
+	for _, e := range experiments {
+		byID[e.id] = e.fn
+	}
+	blank := len(ids) > 1 // "all" mode separates tables with a blank line
+	for _, id := range ids {
+		if byID[id] == nil {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	if workers <= 1 || len(ids) == 1 {
+		for _, id := range ids {
+			if err := byID[id](w, svc, n, steps); err != nil {
+				return err
+			}
+			if blank {
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+	}
+
+	bufs := make([]bytes.Buffer, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = byID[id](&bufs[i], svc, n, steps)
+		}(i, id)
+	}
+	wg.Wait()
+	for i := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", ids[i], errs[i])
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		if blank {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
 }
 
 func die(err error) {
@@ -78,22 +159,25 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func runF90Y(src string, cfg f90y.Config) *cm2.Result {
-	comp, err := f90y.Compile("swe.f90", src, cfg)
+// runF90Y compiles (through the shared cache) and runs one program on
+// the default CM/2.
+func runF90Y(svc *driver.Service, file, src string, cfg f90y.Config) (*cm2.Result, error) {
+	res := svc.Run(context.Background(), driver.Job{Name: file, File: file, Source: src, Config: cfg})
+	return res.CM2, res.Err
+}
+
+// compileF90Y compiles through the shared cache without running.
+func compileF90Y(svc *driver.Service, file, src string, cfg f90y.Config) (*f90y.Compilation, error) {
+	art, err := svc.Compile(context.Background(), file, src, cfg)
 	if err != nil {
-		die(err)
+		return nil, err
 	}
-	res, err := comp.Run()
-	if err != nil {
-		die(err)
-	}
-	return res
+	return art.Comp, nil
 }
 
 // e1 is the §6 performance table: SWE sustained GFLOPS for hand-coded
 // *Lisp (fieldwise), the CMF v1.1 model, and Fortran-90-Y.
-func e1() {
-	n, steps := *flagN, *flagSteps
+func e1(w io.Writer, svc *driver.Service, n, steps int) error {
 	src := workload.SWE(n, steps)
 
 	_, sl := starlisp.RunSWE(n, steps, starlisp.DefaultModel)
@@ -102,82 +186,101 @@ func e1() {
 	machine := cm2.Default()
 	cmfProg, _, err := cmf.Compile("swe.f90", src)
 	if err != nil {
-		die(err)
+		return err
 	}
 	cmfRes, err := machine.Run(cmfProg)
 	if err != nil {
-		die(err)
+		return err
 	}
 
-	f90yRes := runF90Y(src, f90y.DefaultConfig())
+	f90yRes, err := runF90Y(svc, "swe.f90", src, f90y.DefaultConfig())
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("E1 (§6): SWE sustained performance, %dx%d grid, %d steps, 2048 PEs @ 7 MHz\n", n, n, steps)
-	fmt.Printf("%-28s %-14s %s\n", "system", "modeled GF", "paper GF")
-	fmt.Printf("%-28s %-14.2f %.2f\n", "hand-coded *Lisp (fieldwise)", slGF, 1.89)
-	fmt.Printf("%-28s %-14.2f %.2f\n", "CM Fortran v1.1 (model)", cmfRes.GFLOPS(), 2.79)
-	fmt.Printf("%-28s %-14.2f %.2f\n", "Fortran-90-Y", f90yRes.GFLOPS(), 2.99)
-	fmt.Printf("detail: f90y cycles/step pe=%.0f comm=%.0f host=%.0f calls=%d | cmf calls=%d\n",
+	fmt.Fprintf(w, "E1 (§6): SWE sustained performance, %dx%d grid, %d steps, 2048 PEs @ 7 MHz\n", n, n, steps)
+	fmt.Fprintf(w, "%-28s %-14s %s\n", "system", "modeled GF", "paper GF")
+	fmt.Fprintf(w, "%-28s %-14.2f %.2f\n", "hand-coded *Lisp (fieldwise)", slGF, 1.89)
+	fmt.Fprintf(w, "%-28s %-14.2f %.2f\n", "CM Fortran v1.1 (model)", cmfRes.GFLOPS(), 2.79)
+	fmt.Fprintf(w, "%-28s %-14.2f %.2f\n", "Fortran-90-Y", f90yRes.GFLOPS(), 2.99)
+	fmt.Fprintf(w, "detail: f90y cycles/step pe=%.0f comm=%.0f host=%.0f calls=%d | cmf calls=%d\n",
 		f90yRes.PECycles/float64(steps), f90yRes.CommCycles/float64(steps),
 		f90yRes.HostCycles/float64(steps), f90yRes.NodeCalls, cmfRes.NodeCalls)
+	return nil
 }
 
 // e2 is the Fig. 9 domain-blocking transformation: phase counts before and
 // after.
-func e2() {
+func e2(w io.Writer, svc *driver.Service, n, steps int) error {
 	src := workload.Fig9(64)
-	with := runF90Y(src, f90y.DefaultConfig())
-	without := runF90Y(src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
-	fmt.Println("E2 (Fig. 9): domain blocking — like-shape moves fuse into one computation block")
-	fmt.Printf("%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
-	fmt.Printf("%-24s %-12d %.0f\n", "naive (per statement)", without.NodeCalls, without.TotalCycles())
-	fmt.Printf("%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+	with, err := runF90Y(svc, "fig9.f90", src, f90y.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	without, err := runF90Y(svc, "fig9.f90", src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E2 (Fig. 9): domain blocking — like-shape moves fuse into one computation block")
+	fmt.Fprintf(w, "%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
+	fmt.Fprintf(w, "%-24s %-12d %.0f\n", "naive (per statement)", without.NodeCalls, without.TotalCycles())
+	fmt.Fprintf(w, "%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+	return nil
 }
 
 // e3 is the Fig. 10 masked-assignment blocking experiment.
-func e3() {
+func e3(w io.Writer, svc *driver.Service, n, steps int) error {
 	src := workload.Fig10(32)
-	with := runF90Y(src, f90y.DefaultConfig())
-	without := runF90Y(src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
-	fmt.Println("E3 (Fig. 10): masked-assignment blocking — disjoint masked sections share a block")
-	fmt.Printf("%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
-	fmt.Printf("%-24s %-12d %.0f\n", "unblocked", without.NodeCalls, without.TotalCycles())
-	fmt.Printf("%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+	with, err := runF90Y(svc, "fig10.f90", src, f90y.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	without, err := runF90Y(svc, "fig10.f90", src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E3 (Fig. 10): masked-assignment blocking — disjoint masked sections share a block")
+	fmt.Fprintf(w, "%-24s %-12s %s\n", "configuration", "node calls", "total cycles")
+	fmt.Fprintf(w, "%-24s %-12d %.0f\n", "unblocked", without.NodeCalls, without.TotalCycles())
+	fmt.Fprintf(w, "%-24s %-12d %.0f\n", "blocked (F90-Y)", with.NodeCalls, with.TotalCycles())
+	return nil
 }
 
 // e4 is the Fig. 11 partition-structure experiment over an alternating
 // phase graph.
-func e4() {
+func e4(w io.Writer, svc *driver.Service, n, steps int) error {
 	src := workload.Fig11(64, 16)
-	naive, err := f90y.Compile("fig11.f90", src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
+	naive, err := compileF90Y(svc, "fig11.f90", src, f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Optimized})
 	if err != nil {
-		die(err)
+		return err
 	}
-	blocked, err := f90y.Compile("fig11.f90", src, f90y.DefaultConfig())
+	blocked, err := compileF90Y(svc, "fig11.f90", src, f90y.DefaultConfig())
 	if err != nil {
-		die(err)
+		return err
 	}
-	fmt.Println("E4 (Fig. 11): naive vs blocked vs partitioned program structure")
-	fmt.Printf("%-24s %-16s %-12s %s\n", "configuration", "node routines", "comm calls", "host ops")
+	fmt.Fprintln(w, "E4 (Fig. 11): naive vs blocked vs partitioned program structure")
+	fmt.Fprintf(w, "%-24s %-16s %-12s %s\n", "configuration", "node routines", "comm calls", "host ops")
 	n1 := naive.Program.CountOps()
 	n2 := blocked.Program.CountOps()
-	fmt.Printf("%-24s %-16d %-12d %d\n", "naive", n1["callnode"], n1["comm"], n1["assign"])
-	fmt.Printf("%-24s %-16d %-12d %d\n", "blocked+partitioned", n2["callnode"], n2["comm"], n2["assign"])
+	fmt.Fprintf(w, "%-24s %-16d %-12d %d\n", "naive", n1["callnode"], n1["comm"], n1["assign"])
+	fmt.Fprintf(w, "%-24s %-16d %-12d %d\n", "blocked+partitioned", n2["callnode"], n2["comm"], n2["assign"])
+	return nil
 }
 
 // e5 is the Fig. 12 naive-versus-optimized PEAC encoding of the SWE
 // excerpt.
-func e5() {
+func e5(w io.Writer, svc *driver.Service, n, steps int) error {
 	// Per-statement partitioning isolates the Fig. 12 statement as its own
 	// PEAC routine; only the PE/NIR optimization level differs.
 	src := workload.Fig12(64)
 	perStmt := opt.Options{PadSections: true}
-	compN, err := f90y.Compile("fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Naive})
+	compN, err := compileF90Y(svc, "fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Naive})
 	if err != nil {
-		die(err)
+		return err
 	}
-	compO, err := f90y.Compile("fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Optimized})
+	compO, err := compileF90Y(svc, "fig12.f90", src, f90y.Config{Opt: perStmt, PE: pe.Optimized})
 	if err != nil {
-		die(err)
+		return err
 	}
 	pick := func(c *f90y.Compilation) *peac.Routine {
 		var best *peac.Routine
@@ -190,27 +293,28 @@ func e5() {
 	}
 	rn, ro := pick(compN), pick(compO)
 	cm := peac.DefaultCost
-	fmt.Println("E5 (Fig. 12): SWE excerpt, naive vs optimized PEAC encoding")
-	fmt.Printf("%-12s %-14s %-14s %s\n", "encoding", "instructions", "issue slots", "cycles/iter")
-	fmt.Printf("%-12s %-14d %-14d %d\n", "naive", rn.InstrCount(), rn.IssueSlots(), cm.BodyCycles(rn.Body))
-	fmt.Printf("%-12s %-14d %-14d %d\n", "optimized", ro.InstrCount(), ro.IssueSlots(), cm.BodyCycles(ro.Body))
-	fmt.Println("\nnaive encoding:")
-	fmt.Print(rn.Format())
-	fmt.Println("\noptimized encoding:")
-	fmt.Print(ro.Format())
+	fmt.Fprintln(w, "E5 (Fig. 12): SWE excerpt, naive vs optimized PEAC encoding")
+	fmt.Fprintf(w, "%-12s %-14s %-14s %s\n", "encoding", "instructions", "issue slots", "cycles/iter")
+	fmt.Fprintf(w, "%-12s %-14d %-14d %d\n", "naive", rn.InstrCount(), rn.IssueSlots(), cm.BodyCycles(rn.Body))
+	fmt.Fprintf(w, "%-12s %-14d %-14d %d\n", "optimized", ro.InstrCount(), ro.IssueSlots(), cm.BodyCycles(ro.Body))
+	fmt.Fprintln(w, "\nnaive encoding:")
+	fmt.Fprint(w, rn.Format())
+	fmt.Fprintln(w, "\noptimized encoding:")
+	fmt.Fprint(w, ro.Format())
+	return nil
 }
 
 // e6 is the §5.2 spill-pressure experiment: cycles as live values exceed
 // the eight vector registers (one spill/restore pair = 18 cycles ≈ three
 // vector ops).
-func e6() {
-	fmt.Println("E6 (§5.2): spill pressure sweep (spill/restore pair = 18 cycles)")
-	fmt.Printf("%-8s %-14s %-12s %s\n", "terms", "instructions", "spill slots", "cycles/iter")
+func e6(w io.Writer, svc *driver.Service, n, steps int) error {
+	fmt.Fprintln(w, "E6 (§5.2): spill pressure sweep (spill/restore pair = 18 cycles)")
+	fmt.Fprintf(w, "%-8s %-14s %-12s %s\n", "terms", "instructions", "spill slots", "cycles/iter")
 	for _, terms := range []int{4, 6, 8, 10, 12, 16} {
 		src := workload.SpillKernel(1024, terms)
-		comp, err := f90y.Compile("spill.f90", src, f90y.DefaultConfig())
+		comp, err := compileF90Y(svc, "spill.f90", src, f90y.DefaultConfig())
 		if err != nil {
-			die(err)
+			return err
 		}
 		var r *peac.Routine
 		for _, rt := range comp.Program.Routines {
@@ -218,32 +322,32 @@ func e6() {
 				r = rt
 			}
 		}
-		fmt.Printf("%-8d %-14d %-12d %d\n", terms, r.InstrCount(), r.SpillSlots, peac.DefaultCost.BodyCycles(r.Body))
+		fmt.Fprintf(w, "%-8d %-14d %-12d %d\n", terms, r.InstrCount(), r.SpillSlots, peac.DefaultCost.BodyCycles(r.Body))
 	}
+	return nil
 }
 
 // e7 is the §5.3.1 CM-5 retarget: the same partitioned program runs on
 // both back ends.
-func e7() {
-	n, steps := *flagN, *flagSteps
+func e7(w io.Writer, svc *driver.Service, n, steps int) error {
 	src := workload.SWE(n, steps)
-	comp, err := f90y.Compile("swe.f90", src, f90y.DefaultConfig())
+	comp, err := compileF90Y(svc, "swe.f90", src, f90y.DefaultConfig())
 	if err != nil {
-		die(err)
+		return err
 	}
-	cm2Res, err := comp.Run()
+	cm2Res, err := cm2.Default().Run(comp.Program)
 	if err != nil {
-		die(err)
+		return err
 	}
 	cm5Res, err := cm5.Default().Run(comp.Program)
 	if err != nil {
-		die(err)
+		return err
 	}
-	fmt.Println("E7 (§5.3.1): CM-5 retarget — identical front end, three-way node split")
-	fmt.Printf("%-10s %-12s %-16s %s\n", "target", "GFLOPS", "node calls", "comm cycles")
-	fmt.Printf("%-10s %-12.2f %-16d %.0f\n", "CM-2", cm2Res.GFLOPS(), cm2Res.NodeCalls, cm2Res.CommCycles)
-	fmt.Printf("%-10s %-12.2f %-16d %.0f\n", "CM-5", cm5Res.GFLOPS(), cm5Res.NodeCalls, cm5Res.CommCycles)
-	fmt.Printf("CM-5 node split: SPARC issue %.0f cycles, vector units %.0f cycles\n",
+	fmt.Fprintln(w, "E7 (§5.3.1): CM-5 retarget — identical front end, three-way node split")
+	fmt.Fprintf(w, "%-10s %-12s %-16s %s\n", "target", "GFLOPS", "node calls", "comm cycles")
+	fmt.Fprintf(w, "%-10s %-12.2f %-16d %.0f\n", "CM-2", cm2Res.GFLOPS(), cm2Res.NodeCalls, cm2Res.CommCycles)
+	fmt.Fprintf(w, "%-10s %-12.2f %-16d %.0f\n", "CM-5", cm5Res.GFLOPS(), cm5Res.NodeCalls, cm5Res.CommCycles)
+	fmt.Fprintf(w, "CM-5 node split: SPARC issue %.0f cycles, vector units %.0f cycles\n",
 		cm5Res.SPARCCycles, cm5Res.VUCycles)
-	_ = nir.True
+	return nil
 }

@@ -21,6 +21,7 @@
 package f90y
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -35,8 +36,15 @@ import (
 	"f90y/internal/parser"
 	"f90y/internal/partition"
 	"f90y/internal/pe"
+	"f90y/internal/rt"
 	"f90y/internal/source"
 )
+
+// ErrCanceled is the sentinel wrapped by every error CompileCtx or a
+// ctx-aware Run variant returns because its context was canceled or its
+// deadline expired; the context's own cause (context.Canceled or
+// context.DeadlineExceeded) is wrapped alongside it.
+var ErrCanceled = rt.ErrCanceled
 
 // Config selects the optimization level and target machine for a
 // compilation.
@@ -108,13 +116,29 @@ func guard(file, phase string, f func() error) (err error) {
 // spans) and its statistics as counters. A panic inside any phase is
 // recovered into a *PanicError diagnostic naming the file and phase.
 func Compile(filename, src string, cfg Config) (*Compilation, error) {
+	return CompileCtx(context.Background(), filename, src, cfg)
+}
+
+// CompileCtx is Compile under a context, checked between pipeline
+// phases: a canceled context or an expired deadline aborts the
+// compilation with an error wrapping ErrCanceled.
+func CompileCtx(ctx context.Context, filename, src string, cfg Config) (*Compilation, error) {
 	if cfg.Machine == nil {
 		cfg.Machine = cm2.Default()
 	}
 	rec := cfg.Obs
+	phaseCtx := func(phase string) error {
+		if ctx.Err() != nil {
+			return fmt.Errorf("%s: compile %s: %w", filename, phase, rt.Canceled(ctx))
+		}
+		return nil
+	}
 
 	var toks []lexer.Token
 	var rep source.Reporter
+	if err := phaseCtx("lex"); err != nil {
+		return nil, err
+	}
 	if err := guard(filename, "lex", func() error {
 		span := obs.Start(rec, "lex")
 		toks = lexer.Tokens(filename, src, &rep)
@@ -129,6 +153,9 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 	}
 
 	var tree *ast.Program
+	if err := phaseCtx("parse"); err != nil {
+		return nil, err
+	}
 	if err := guard(filename, "parse", func() error {
 		span := obs.Start(rec, "parse")
 		defer span.End()
@@ -140,6 +167,9 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 	}
 
 	var mod *lower.Module
+	if err := phaseCtx("lower"); err != nil {
+		return nil, err
+	}
 	if err := guard(filename, "lower", func() error {
 		span := obs.Start(rec, "lower")
 		defer span.End()
@@ -152,6 +182,9 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 
 	var omod *lower.Module
 	var ostats opt.Stats
+	if err := phaseCtx("opt"); err != nil {
+		return nil, err
+	}
 	if err := guard(filename, "opt", func() error {
 		omod, ostats = opt.OptimizeObs(mod, cfg.Opt, rec)
 		return nil
@@ -161,6 +194,9 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 
 	var prog *fe.Program
 	var pstats partition.Stats
+	if err := phaseCtx("partition"); err != nil {
+		return nil, err
+	}
 	if err := guard(filename, "partition", func() error {
 		span := obs.Start(rec, "partition")
 		defer span.End()
@@ -186,18 +222,30 @@ func Compile(filename, src string, cfg Config) (*Compilation, error) {
 // "exec" span plus the cycle-attribution counters to the compilation's
 // recorder.
 func (c *Compilation) Run() (*cm2.Result, error) {
-	span := obs.Start(c.Obs, "exec")
-	defer span.End()
-	return c.Machine.RunObs(c.Program, nil, c.Obs)
+	return c.RunCtlCtx(context.Background(), nil)
+}
+
+// RunCtx is Run under a context: cancellation and deadline expiry are
+// checked at host op and loop-iteration boundaries and surface as an
+// error wrapping ErrCanceled.
+func (c *Compilation) RunCtx(ctx context.Context) (*cm2.Result, error) {
+	return c.RunCtlCtx(ctx, nil)
 }
 
 // RunCtl executes the compiled program under an execution control
 // plane: deterministic fault injection, periodic checkpoints, and
 // resume from a snapshot (see cm2.Control). A nil ctl is exactly Run.
 func (c *Compilation) RunCtl(ctl *cm2.Control) (*cm2.Result, error) {
+	return c.RunCtlCtx(context.Background(), ctl)
+}
+
+// RunCtlCtx is RunCtl under a context. A Compilation is immutable once
+// built, so concurrent RunCtlCtx calls on one Compilation are safe;
+// each run builds its own store.
+func (c *Compilation) RunCtlCtx(ctx context.Context, ctl *cm2.Control) (*cm2.Result, error) {
 	span := obs.Start(c.Obs, "exec")
 	defer span.End()
-	return c.Machine.RunCtl(c.Program, nil, c.Obs, ctl)
+	return c.Machine.RunCtx(ctx, c.Program, nil, c.Obs, ctl)
 }
 
 // Interpret runs a program under the reference interpreter (the oracle):

@@ -12,10 +12,11 @@
 package cm2
 
 import (
+	"context"
 	"fmt"
 
-	"f90y/internal/fe"
 	"f90y/internal/faults"
+	"f90y/internal/fe"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -152,6 +153,15 @@ func (m *Machine) RunObs(prog *fe.Program, store *rt.Store, rec obs.Recorder) (*
 // error wrapping faults.ErrFatal; restart it from the last checkpoint
 // via ctl.Resume.
 func (m *Machine) RunCtl(prog *fe.Program, store *rt.Store, rec obs.Recorder, ctl *Control) (*Result, error) {
+	return m.RunCtx(context.Background(), prog, store, rec, ctl)
+}
+
+// RunCtx is RunCtl under a context: cancellation and deadline expiry
+// are checked at every host op and loop-iteration boundary and return
+// promptly with an error wrapping rt.ErrCanceled. The Machine is never
+// mutated by a run, so one *Machine may serve any number of concurrent
+// RunCtx calls (each run builds its own store when store is nil).
+func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store, rec obs.Recorder, ctl *Control) (*Result, error) {
 	if store == nil {
 		store = rt.NewStore(prog.Syms)
 	}
@@ -171,9 +181,7 @@ func (m *Machine) RunCtl(prog *fe.Program, store *rt.Store, rec obs.Recorder, ct
 		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery}
 		if ctl.Checkpoint != nil {
 			hctl.Checkpoint = func(vm *hostvm.VM, next int, inLoop bool, iterDone int) error {
-				ck := snapshot(store, vm, comm, res, next, inLoop, iterDone)
-				ck.Machine = "cm2"
-				return ctl.Checkpoint(ck)
+				return ctl.Checkpoint(snapshot(store, vm, comm, res, next, inLoop, iterDone))
 			}
 		}
 		if ck := ctl.Resume; ck != nil {
@@ -189,7 +197,7 @@ func (m *Machine) RunCtl(prog *fe.Program, store *rt.Store, rec obs.Recorder, ct
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
-	vm, err := hostvm.RunCtl(prog, store, m.HostCost, hooks, hctl)
+	vm, err := hostvm.RunCtx(ctx, prog, store, m.HostCost, hooks, hctl)
 	if err != nil {
 		return nil, err
 	}
@@ -208,58 +216,37 @@ func (m *Machine) RunCtl(prog *fe.Program, store *rt.Store, rec obs.Recorder, ct
 	return res, nil
 }
 
-// snapshot captures a consistent machine state at a host boundary: the
-// store, the output so far, and every cycle bucket. The hostvm buckets
-// come from the live VM; PE and comm state from the accumulating
-// result and comm layer (both already cumulative across a resume).
+// snapshot captures a consistent machine state at a host boundary via
+// the shared rt boundary plumbing; the CM/2 has no machine-specific
+// extras beyond the common fields.
 func snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *Result, next int, inLoop bool, iterDone int) *rt.Checkpoint {
-	ck := store.Checkpoint()
-	ck.NextOp, ck.InLoop, ck.IterDone = next, inLoop, iterDone
-	ck.Output = append([]string(nil), vm.Output...)
-	ck.Flops = res.Flops
-	ck.NodeCalls = res.NodeCalls
-	ck.CommCalls = comm.Calls
-	ck.HostCycles = vm.Cycles
-	ck.PECycles = res.PECycles
-	ck.CommCycles = comm.Cycles
-	ck.PEClassCycles = copyMap(res.PEClassCycles)
-	ck.PERoutineCycles = copyMap(res.PERoutineCycles)
-	ck.CommClassCycles = copyMap(comm.ClassCycles)
-	ck.HostClassCycles = vm.ClassCycles()
-	return ck
+	return rt.SnapshotBoundary(store, comm,
+		rt.Boundary{Machine: "cm2", NextOp: next, InLoop: inLoop, IterDone: iterDone},
+		rt.HostState{Output: vm.Output, Cycles: vm.Cycles, ClassCycles: vm.ClassCycles()},
+		rt.ExecTotals{
+			Flops:           res.Flops,
+			NodeCalls:       res.NodeCalls,
+			PECycles:        res.PECycles,
+			PEClassCycles:   res.PEClassCycles,
+			PERoutineCycles: res.PERoutineCycles,
+		})
 }
 
 // resume restores a snapshot into the store, the comm layer, the
 // result accumulators, and the host control plane, so the continued
 // run picks up every total where the snapshot left it.
 func resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res *Result, hctl *hostvm.Ctl) error {
-	if err := ck.ApplyStore(store); err != nil {
+	tot, err := rt.ResumeBoundary(ck, store, comm)
+	if err != nil {
 		return fmt.Errorf("cm2: resume: %w", err)
 	}
-	comm.Restore(ck.CommClassCycles, ck.CommCalls)
-	res.PECycles = ck.PECycles
-	res.Flops = ck.Flops
-	res.NodeCalls = ck.NodeCalls
-	for cl, v := range ck.PEClassCycles {
-		res.PEClassCycles[cl] = v
-	}
-	for name, v := range ck.PERoutineCycles {
-		res.PERoutineCycles[name] = v
-	}
-	hctl.ResumeOp = ck.NextOp
-	hctl.ResumeInLoop = ck.InLoop
-	hctl.ResumeIter = ck.IterDone
-	hctl.ResumeOutput = ck.Output
-	hctl.ResumeClassCycles = ck.HostClassCycles
+	res.PECycles = tot.PECycles
+	res.Flops = tot.Flops
+	res.NodeCalls = tot.NodeCalls
+	res.PEClassCycles = tot.PEClassCycles
+	res.PERoutineCycles = tot.PERoutineCycles
+	hctl.SetResume(ck)
 	return nil
-}
-
-func copyMap(m map[string]float64) map[string]float64 {
-	out := make(map[string]float64, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
 }
 
 // emit reports the execution result as counters.

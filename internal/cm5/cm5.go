@@ -18,11 +18,12 @@
 package cm5
 
 import (
+	"context"
 	"fmt"
 
 	"f90y/internal/cm2"
-	"f90y/internal/fe"
 	"f90y/internal/faults"
+	"f90y/internal/fe"
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
@@ -107,6 +108,14 @@ func (m *Machine) RunObs(prog *fe.Program, rec obs.Recorder) (*Result, error) {
 // plane (fault injection, checkpoints, resume — see cm2.Control). A
 // nil ctl is exactly RunObs: same path, bit-identical cycle totals.
 func (m *Machine) RunCtl(prog *fe.Program, rec obs.Recorder, ctl *cm2.Control) (*Result, error) {
+	return m.RunCtx(context.Background(), prog, rec, ctl)
+}
+
+// RunCtx is RunCtl under a context: cancellation and deadline expiry
+// are checked at every host op and loop-iteration boundary and return
+// promptly with an error wrapping rt.ErrCanceled. The Machine is never
+// mutated by a run, so one *Machine may serve concurrent RunCtx calls.
+func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder, ctl *cm2.Control) (*Result, error) {
 	store := rt.NewStore(prog.Syms)
 	comm := &rt.Comm{Store: store, PEs: m.Nodes * m.VUsPerNode, Cost: m.CommCost}
 	res := &Result{}
@@ -139,7 +148,7 @@ func (m *Machine) RunCtl(prog *fe.Program, rec obs.Recorder, ctl *cm2.Control) (
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
-	vm, err := hostvm.RunCtl(prog, store, m.HostCost, hooks, hctl)
+	vm, err := hostvm.RunCtx(ctx, prog, store, m.HostCost, hooks, hctl)
 	if err != nil {
 		return nil, err
 	}
@@ -165,32 +174,20 @@ func (m *Machine) RunCtl(prog *fe.Program, rec obs.Recorder, ctl *cm2.Control) (
 	return res, nil
 }
 
-// snapshot captures a consistent boundary state; the CM-5's three-way
-// split travels in the Extra map.
+// snapshot captures a consistent boundary state via the shared rt
+// boundary plumbing; the CM-5's three-way split travels in the Extra
+// map.
 func (m *Machine) snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *Result, next int, inLoop bool, iterDone int) *rt.Checkpoint {
-	ck := store.Checkpoint()
-	ck.Machine = "cm5"
-	ck.NextOp, ck.InLoop, ck.IterDone = next, inLoop, iterDone
-	ck.Output = append([]string(nil), vm.Output...)
-	ck.Flops = res.Flops
-	ck.NodeCalls = res.NodeCalls
-	ck.CommCalls = comm.Calls
-	ck.HostCycles = vm.Cycles
-	ck.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
-	ck.CommCycles = comm.Cycles
-	ck.PEClassCycles = map[string]float64{}
-	for cl, v := range res.PEClassCycles {
-		ck.PEClassCycles[cl] = v
-	}
-	ck.PERoutineCycles = map[string]float64{}
-	for name, v := range res.PERoutineCycles {
-		ck.PERoutineCycles[name] = v
-	}
-	ck.CommClassCycles = map[string]float64{}
-	for cl, v := range comm.ClassCycles {
-		ck.CommClassCycles[cl] = v
-	}
-	ck.HostClassCycles = vm.ClassCycles()
+	ck := rt.SnapshotBoundary(store, comm,
+		rt.Boundary{Machine: "cm5", NextOp: next, InLoop: inLoop, IterDone: iterDone},
+		rt.HostState{Output: vm.Output, Cycles: vm.Cycles, ClassCycles: vm.ClassCycles()},
+		rt.ExecTotals{
+			Flops:           res.Flops,
+			NodeCalls:       res.NodeCalls,
+			PECycles:        res.VUCycles + res.SPARCCycles + res.DegradeCycles,
+			PEClassCycles:   res.PEClassCycles,
+			PERoutineCycles: res.PERoutineCycles,
+		})
 	ck.Extra = map[string]float64{
 		"vu-cycles":      res.VUCycles,
 		"sparc-cycles":   res.SPARCCycles,
@@ -201,26 +198,18 @@ func (m *Machine) snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *R
 
 // resume restores a snapshot into the store and accumulators.
 func (m *Machine) resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res *Result, hctl *hostvm.Ctl) error {
-	if err := ck.ApplyStore(store); err != nil {
+	tot, err := rt.ResumeBoundary(ck, store, comm)
+	if err != nil {
 		return fmt.Errorf("cm5: resume: %w", err)
 	}
-	comm.Restore(ck.CommClassCycles, ck.CommCalls)
-	res.Flops = ck.Flops
-	res.NodeCalls = ck.NodeCalls
+	res.Flops = tot.Flops
+	res.NodeCalls = tot.NodeCalls
 	res.VUCycles = ck.Extra["vu-cycles"]
 	res.SPARCCycles = ck.Extra["sparc-cycles"]
 	res.DegradeCycles = ck.Extra["degrade-cycles"]
-	for cl, v := range ck.PEClassCycles {
-		res.PEClassCycles[cl] = v
-	}
-	for name, v := range ck.PERoutineCycles {
-		res.PERoutineCycles[name] = v
-	}
-	hctl.ResumeOp = ck.NextOp
-	hctl.ResumeInLoop = ck.InLoop
-	hctl.ResumeIter = ck.IterDone
-	hctl.ResumeOutput = ck.Output
-	hctl.ResumeClassCycles = ck.HostClassCycles
+	res.PEClassCycles = tot.PEClassCycles
+	res.PERoutineCycles = tot.PERoutineCycles
+	hctl.SetResume(ck)
 	return nil
 }
 

@@ -1,0 +1,148 @@
+// Package driver is the concurrent compile-and-run service layer: it
+// turns the one-shot pipeline of the root f90y package into a reusable
+// artifact driven over many programs and machine configurations, the
+// way the paper's own evaluation (§6) drives one compiler across
+// optimization variants and targets.
+//
+// Three pieces:
+//
+//   - Service.Compile: a concurrency-safe compile cache keyed by
+//     (source hash, config fingerprint). The first request for a key
+//     runs the pipeline; every later request — including concurrent
+//     ones, which wait rather than duplicating work — is served the
+//     same immutable *Artifact without re-running any pipeline phase.
+//   - Service.Run / Service.RunBatch: compile+run jobs, batch-executed
+//     on a bounded worker pool with per-job telemetry recorders. Cycle
+//     totals, GFLOPS, and output are deterministic and independent of
+//     the worker count: a run touches no state shared with its
+//     neighbors (each has its own store; machines are read-only).
+//   - The shared CLI wiring (cli.go): -faults/-checkpoint/-metrics/
+//     -trace flag plumbing, deduplicated out of the three commands.
+package driver
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"f90y"
+	"f90y/internal/rt"
+)
+
+// Key identifies one compilation: a content hash of the source and a
+// fingerprint of the compilation-relevant configuration.
+type Key struct {
+	Source [sha256.Size]byte
+	Config string
+}
+
+// KeyOf computes the cache key for compiling src under cfg.
+func KeyOf(src string, cfg f90y.Config) Key {
+	return Key{Source: sha256.Sum256([]byte(src)), Config: Fingerprint(cfg)}
+}
+
+// Fingerprint renders the parts of a Config that change the pipeline's
+// artifacts: the NIR transformation options and the PE code-generator
+// options. Machine and Obs are deliberately excluded — the target
+// machine is a run-time choice (the partitioned program is machine-
+// independent, §5.3.1), and telemetry never alters what is compiled.
+func Fingerprint(cfg f90y.Config) string {
+	return fmt.Sprintf("opt=%+v|pe=%+v", cfg.Opt, cfg.PE)
+}
+
+// Artifact is one cached compilation: the full pipeline output, shared
+// by every run of the same (source, config). It is immutable — runs
+// read the partitioned program and build their own stores.
+type Artifact struct {
+	Key  Key
+	Comp *f90y.Compilation
+}
+
+// entry is one cache slot. The first requester compiles and closes
+// ready; concurrent requesters for the same key block on ready instead
+// of duplicating the pipeline.
+type entry struct {
+	ready chan struct{}
+	art   *Artifact
+	err   error
+}
+
+// Service is the concurrent compile-and-run service. The zero value is
+// not usable; construct with New. All methods are safe for concurrent
+// use.
+type Service struct {
+	workers int
+
+	mu     sync.Mutex
+	cache  map[Key]*entry
+	hits   int64
+	misses int64
+}
+
+// New returns a service whose batch executor runs up to workers jobs
+// concurrently; workers < 1 selects GOMAXPROCS.
+func New(workers int) *Service {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Service{workers: workers, cache: map[Key]*entry{}}
+}
+
+// Workers is the batch executor's concurrency bound.
+func (s *Service) Workers() int { return s.workers }
+
+// CacheStats reports cache hits and misses so far. A hit is any request
+// served an existing entry, including one that waited for an in-flight
+// compile of the same key.
+func (s *Service) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Compile returns the cached artifact for (src, cfg), compiling on the
+// first request. On a hit no pipeline phase re-runs and the same
+// *Artifact pointer is returned; cfg.Obs receives compile spans only
+// on the miss that actually compiles. A context canceled while waiting
+// for another goroutine's in-flight compile abandons the wait (the
+// compile itself continues for its owner); a compile aborted by its own
+// context is evicted so a later request can retry.
+func (s *Service) Compile(ctx context.Context, file, src string, cfg f90y.Config) (*Artifact, error) {
+	key := KeyOf(src, cfg)
+	s.mu.Lock()
+	e, ok := s.cache[key]
+	if ok {
+		s.hits++
+		s.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.art, e.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("driver: compile %s: %w", file, rt.Canceled(ctx))
+		}
+	}
+	s.misses++
+	e = &entry{ready: make(chan struct{})}
+	s.cache[key] = e
+	s.mu.Unlock()
+
+	comp, err := f90y.CompileCtx(ctx, file, src, cfg)
+	if err != nil {
+		e.err = err
+		if errors.Is(err, rt.ErrCanceled) {
+			// A canceled compile says nothing about the program; evict
+			// so the next request retries under its own context.
+			s.mu.Lock()
+			delete(s.cache, key)
+			s.mu.Unlock()
+		}
+		close(e.ready)
+		return nil, err
+	}
+	e.art = &Artifact{Key: key, Comp: comp}
+	close(e.ready)
+	return e.art, nil
+}

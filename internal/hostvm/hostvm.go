@@ -8,12 +8,13 @@
 package hostvm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
-	"f90y/internal/fe"
 	"f90y/internal/faults"
+	"f90y/internal/fe"
 	"f90y/internal/nir"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
@@ -89,6 +90,17 @@ type Ctl struct {
 	ResumeClassCycles map[string]float64
 }
 
+// SetResume points the control plane at a snapshot's resume position
+// and pre-seeded host state. It is the single place the checkpoint
+// fields map onto the Resume* knobs, shared by every machine model.
+func (c *Ctl) SetResume(ck *rt.Checkpoint) {
+	c.ResumeOp = ck.NextOp
+	c.ResumeInLoop = ck.InLoop
+	c.ResumeIter = ck.IterDone
+	c.ResumeOutput = ck.Output
+	c.ResumeClassCycles = ck.HostClassCycles
+}
+
 // VM is one host execution.
 type VM struct {
 	Store  *rt.Store
@@ -105,6 +117,8 @@ type VM struct {
 	DispatchCycles float64
 	StallCycles    float64
 
+	runCtx     context.Context
+	done       <-chan struct{} // runCtx.Done(), nil when uncancellable
 	ctl        *Ctl
 	boundaries int
 
@@ -146,14 +160,24 @@ type stopSignal struct{}
 
 // Run interprets a partitioned program.
 func Run(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks) (vm *VM, err error) {
-	return RunCtl(prog, store, cost, hooks, nil)
+	return RunCtx(context.Background(), prog, store, cost, hooks, nil)
 }
 
 // RunCtl interprets a partitioned program under an execution control
 // plane. A nil ctl is exactly Run: no injection, no checkpoints, and
 // bit-identical cycle totals.
 func RunCtl(prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks, ctl *Ctl) (vm *VM, err error) {
-	vm = &VM{Store: store, Cost: cost, Hooks: hooks, ctl: ctl, limit: 500_000_000}
+	return RunCtx(context.Background(), prog, store, cost, hooks, ctl)
+}
+
+// RunCtx interprets a partitioned program under a context: cancellation
+// and deadline expiry are checked at every op and loop-iteration
+// boundary and surface promptly as an error wrapping rt.ErrCanceled.
+// An uncancellable context (Done() == nil, e.g. context.Background())
+// costs one nil check per boundary — the cycle totals are bit-identical
+// to the ctx-less path.
+func RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store, cost Cost, hooks Hooks, ctl *Ctl) (vm *VM, err error) {
+	vm = &VM{Store: store, Cost: cost, Hooks: hooks, runCtx: ctx, done: ctx.Done(), ctl: ctl, limit: 500_000_000}
 	if ctl != nil {
 		vm.Output = append(vm.Output, ctl.ResumeOutput...)
 		for cl, v := range ctl.ResumeClassCycles {
@@ -248,6 +272,13 @@ func (vm *VM) tick() error {
 	vm.steps++
 	if vm.steps > vm.limit {
 		return fmt.Errorf("hostvm: step limit exceeded")
+	}
+	if vm.done != nil {
+		select {
+		case <-vm.done:
+			return fmt.Errorf("hostvm: at op boundary %d: %w", vm.steps, rt.Canceled(vm.runCtx))
+		default:
+		}
 	}
 	vm.charge(&vm.IssueCycles, vm.Cost.StatementIssued)
 	if vm.ctl != nil {

@@ -1,0 +1,25 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel wrapped by every error the pipeline or a
+// machine model returns because its context was canceled or its
+// deadline expired. Callers classify with errors.Is(err, ErrCanceled);
+// the underlying context.Canceled / context.DeadlineExceeded cause is
+// wrapped alongside it, so errors.Is against either also works.
+var ErrCanceled = errors.New("run canceled")
+
+// Canceled converts a done context into the structured cancellation
+// error: it wraps both ErrCanceled and the context's cause. Call it
+// only after ctx.Done() fired (or ctx.Err() returned non-nil).
+func Canceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
