@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency bench bench-batch clean
+.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency soak-short soak bench bench-batch clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
 # tests (driver cache, batch executor, cancellation), machine-readable
 # benchmark smoke runs (serial and batch mode), a short fuzz of the
-# front end, and the fault-plane determinism tests.
-check: vet build race concurrency smoke fuzz-smoke determinism
+# front end, the fault-plane determinism tests, and a short
+# fault-invariance soak through the differential oracle.
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short
 
 vet:
 	$(GO) vet ./...
@@ -35,16 +36,33 @@ smoke:
 	$(GO) run ./cmd/swebench -json -parallel 4 -n 128 -steps 2 -o .bench-smoke.json
 	rm -f .bench-smoke.json
 
-# Short fuzz of the parser and the whole compile pipeline (~20s). The
-# native fuzzer also replays the regression corpus in testdata/fuzz/.
+# Short fuzz of the parser, the whole compile pipeline, and the
+# differential oracle (~30s). The native fuzzer also replays the
+# regression corpus in testdata/fuzz/. FuzzOracle gets a short budget:
+# every successfully-compiling input runs the interpreter plus both
+# machine backends, so its throughput is execution-bound, not
+# parse-bound.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzOracle$$' -fuzztime 5s .
 
 # Fault-plane invariants: zero overhead with no plan attached, and
 # bit-identical replay of the same seed.
 determinism:
 	$(GO) test -run 'ZeroOverhead|Determinism|Resume' ./internal/cm2/ ./internal/cm5/
+
+# Short fault-invariance soak: the oracle package's soak tests under
+# the race detector (2 programs x 2 backends x 2 seeds x 4 plans).
+soak-short:
+	$(GO) test -race -run 'Soak|Verify' ./internal/oracle/
+
+# Full chaos soak: verify all seven kernels across interp/cm2/cm5,
+# then sweep 25 seeds x 4 fault plans x 2 backends (1400 faulted runs)
+# asserting bit-exact fault invariance. Reproducers for any violation
+# land in soak-repros/.
+soak:
+	$(GO) run ./cmd/swebench -soak 25 -parallel -1
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -5,17 +5,31 @@
 // Usage:
 //
 //	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json]
-//	        [-timeout 30s] [-faults spec] [-checkpoint-every N]
+//	        [-timeout 30s] [-max-cycles N] [-numeric off|trap|record]
+//	        [-faults spec] [-checkpoint-every N]
 //	        [-checkpoint ckpt.json] [-resume ckpt.json] file.f90
 //
-// With -verify the result is also checked elementwise against the
-// reference interpreter. -metrics prints the phase/counter telemetry
-// report (compile spans plus execution cycle attribution) to stderr;
-// -trace writes the same telemetry as Chrome trace_event JSON.
+// With -verify the program is run through the differential oracle
+// (internal/oracle): the reference interpreter and BOTH machine
+// backends execute it and the final stores are cross-checked
+// value-for-value under the documented ULP tolerance; a divergence
+// reports the first differing variable, element, and backend pair and
+// exits nonzero. -metrics prints the phase/counter telemetry report
+// (compile spans plus execution cycle attribution) to stderr; -trace
+// writes the same telemetry as Chrome trace_event JSON.
 //
-// -timeout bounds the whole compile+run: past the deadline the run
-// stops at the next host-op boundary with an error wrapping
-// f90y.ErrCanceled (exit status 3).
+// -timeout bounds the whole compile+run in wall-clock time: past the
+// deadline the run stops at the next host-op boundary with an error
+// wrapping f90y.ErrCanceled (exit status 3). -max-cycles bounds the run
+// in MODELED cycles — the deterministic watchdog: a runaway loop is
+// killed at the same cycle on every run with an error wrapping
+// rt.ErrBudget (exit status 4), and with checkpointing on, the killed
+// run resumes from its last snapshot under a higher budget.
+//
+// -numeric attaches the numeric-exception plane: "trap" fails the run
+// on the first NaN or Inf produced by a PE float op (with PE and
+// instruction attribution); "record" tallies exceptional lanes per
+// cycle class into the telemetry counters instead.
 //
 // -faults attaches a deterministic fault-injection plan (see
 // internal/faults.ParseSpec for the full key list). -checkpoint-every N
@@ -33,41 +47,45 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"strings"
 
 	"f90y"
 	"f90y/internal/cm5"
 	"f90y/internal/driver"
 	"f90y/internal/faults"
-	"f90y/internal/interp"
+	"f90y/internal/oracle"
 	"f90y/internal/rt"
 )
 
 var (
 	flagTarget  = flag.String("target", "cm2", "target machine: cm2 or cm5")
 	flagPEs     = flag.Int("pes", 2048, "processing elements (cm2 target)")
-	flagVerify  = flag.Bool("verify", false, "check results against the reference interpreter")
+	flagVerify  = flag.Bool("verify", false, "cross-check interpreter, cm2, and cm5 results (differential oracle)")
 	flagMetrics = flag.Bool("metrics", false, "print the telemetry report to stderr")
 	flagTrace   = flag.String("trace", "", "write a Chrome trace_event JSON file")
 	flagTimeout = flag.Duration("timeout", 0, "abort the compile+run after this duration (0 = no limit)")
+	flagMaxCyc  = flag.Float64("max-cycles", 0, "kill the run after this many modeled cycles (0 = no budget)")
+	flagNumeric = flag.String("numeric", "", "numeric-exception plane: off, trap, or record")
 	flagFaults  = flag.String("faults", "", driver.FaultsHelp)
 	flagCkEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N host boundaries (0 = off)")
 	flagCkPath  = flag.String("checkpoint", "", "checkpoint file path (default <file>.ckpt.json)")
 	flagResume  = flag.String("resume", "", "resume from a checkpoint file")
 )
 
-// fail reports a run error; an injected fatal fault points at the
-// checkpoint so the user knows the run is resumable, and a deadline
-// expiry exits with a distinct status.
+// fail reports a run error; an injected fatal fault or a budget kill
+// points at the checkpoint so the user knows the run is resumable, and
+// deadline expiry (3) and budget exhaustion (4) exit with distinct
+// statuses.
 func fail(file string, err error) {
 	fmt.Fprintln(os.Stderr, "f90yrun:", err)
-	if errors.Is(err, faults.ErrFatal) && *flagCkEvery > 0 {
+	if (errors.Is(err, faults.ErrFatal) || errors.Is(err, rt.ErrBudget)) && *flagCkEvery > 0 {
 		fmt.Fprintln(os.Stderr, "f90yrun: resume with -resume", driver.CheckpointPath(file, *flagCkPath))
 	}
 	if errors.Is(err, f90y.ErrCanceled) {
 		os.Exit(3)
+	}
+	if errors.Is(err, rt.ErrBudget) {
+		os.Exit(4)
 	}
 	os.Exit(1)
 }
@@ -102,6 +120,8 @@ func main() {
 		CheckpointEvery: *flagCkEvery,
 		CheckpointPath:  *flagCkPath,
 		ResumePath:      *flagResume,
+		MaxCycles:       *flagMaxCyc,
+		Numeric:         *flagNumeric,
 	}.Build(file, cfg.Obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "f90yrun:", err)
@@ -142,8 +162,11 @@ func main() {
 	if common.Faults != nil {
 		report += "\n" + faultLine(common.Faults)
 	}
+	if common.Numeric != nil && common.Numeric.Mode == rt.NumericRecord {
+		report += "\n" + numericLine(common.Numeric)
+	}
 	if *flagVerify {
-		verify(file, string(src), common.Store.Arrays)
+		verify(file, string(src), *flagMaxCyc)
 	}
 
 	for _, line := range common.Output {
@@ -167,43 +190,27 @@ func faultLine(s *faults.Stats) string {
 		total, s.Retries, s.RetryCycles, s.Degraded)
 }
 
-// verify re-runs the program under the reference interpreter and compares
-// every array elementwise; mismatches are fatal.
-func verify(file, src string, arrays map[string]*rt.Array) {
-	oracle, err := f90y.Interpret(file, src)
+// numericLine summarizes the numeric-exception tallies for the report.
+func numericLine(n *rt.Numeric) string {
+	nan, inf := int64(0), int64(0)
+	for _, c := range n.NaN {
+		nan += c
+	}
+	for _, c := range n.Inf {
+		inf += c
+	}
+	return fmt.Sprintf("numeric: %d NaN lanes, %d Inf lanes recorded", nan, inf)
+}
+
+// verify runs the program through the differential oracle: reference
+// interpreter vs cm2 vs cm5, value-for-value. A divergence (or any
+// backend failure) is fatal; agreement prints the comparison size.
+func verify(file, src string, maxCycles float64) {
+	rep, err := oracle.Verify(file, src, oracle.Options{MaxCycles: maxCycles})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "f90yrun: verify:", err)
 		os.Exit(1)
 	}
-	checked := 0
-	for name, arr := range arrays {
-		if strings.HasPrefix(name, "tmp") {
-			continue
-		}
-		oa := oracle.Array(name)
-		if oa == nil {
-			fmt.Fprintf(os.Stderr, "f90yrun: verify: oracle missing %q\n", name)
-			os.Exit(1)
-		}
-		for i := 0; i < arr.Size(); i++ {
-			var want float64
-			switch oa.Kind {
-			case interp.KInt:
-				want = float64(oa.I[i])
-			case interp.KLogical:
-				if oa.B[i] {
-					want = 1
-				}
-			default:
-				want = oa.F[i]
-			}
-			got := arr.Data[i]
-			if got != want && math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
-				fmt.Fprintf(os.Stderr, "f90yrun: verify: %s[%d] = %v, oracle %v\n", name, i, got, want)
-				os.Exit(1)
-			}
-			checked++
-		}
-	}
-	fmt.Fprintf(os.Stderr, "verify: %d elements match the reference interpreter\n", checked)
+	fmt.Fprintf(os.Stderr, "verify: %d variables, %d values agree across interp, cm2, cm5 (<=%d ulps)\n",
+		rep.Vars, rep.Elems, uint64(oracle.DefaultULPs))
 }

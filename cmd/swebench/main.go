@@ -8,6 +8,7 @@
 //	         [-parallel N]
 //	swebench -json [-parallel N] [-o BENCH_swe.json] [-n 1024] [-steps 4]
 //	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
+//	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
 //
 // With -parallel N the seven experiments run concurrently on an
 // N-worker pool (N < 1 selects GOMAXPROCS): each experiment renders
@@ -24,6 +25,12 @@
 // With -bench-batch the whole suite is timed twice — serial, then on
 // the parallel pool — and a "f90y-batch/v1" record comparing the two
 // wall-clocks is written to -o (default BENCH_batch.json).
+//
+// With -soak N the suite's kernels are verified through the
+// differential oracle and chaos-soaked across N seeds x fault plans x
+// both backends (see soak.go); fault-invariance violations are
+// minimized to reproducer specs under -repro-dir and fail the command.
+// -json writes a "f90y-soak/v1" record to -o (default stdout).
 package main
 
 import (
@@ -56,6 +63,8 @@ var (
 	flagFaults     = flag.String("faults", "", driver.FaultsHelp)
 	flagParallel   = flag.Int("parallel", 0, "run experiments concurrently on an N-worker pool (0 = serial, <0 = GOMAXPROCS)")
 	flagBenchBatch = flag.Bool("bench-batch", false, "time the suite serial vs parallel and write a f90y-batch/v1 record")
+	flagSoak       = flag.Int("soak", 0, "chaos-soak: verify all kernels differentially, then sweep N seeds x fault plans x backends")
+	flagReproDir   = flag.String("repro-dir", "soak-repros", "directory for fault-invariance reproducer specs (-soak)")
 )
 
 // experiment is one reproduction: it renders its table to w, running
@@ -73,6 +82,16 @@ var experiments = []experiment{
 func main() {
 	flag.Parse()
 	workers := *flagParallel
+	if *flagSoak > 0 {
+		failures, err := runSoak(os.Stdout, *flagSoak, workers, *flagReproDir, *flagJSON, *flagOut)
+		if err != nil {
+			die(err)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *flagBenchBatch {
 		if err := runBenchBatch(*flagOut, *flagN, *flagSteps, workers); err != nil {
 			die(err)

@@ -3,6 +3,7 @@ package cm2
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"f90y/internal/faults"
@@ -277,4 +278,136 @@ func TestPEKillDegradesOrAborts(t *testing.T) {
 	if !errors.Is(err, faults.ErrPEDead) || !errors.Is(err, ErrDispatch) {
 		t.Fatalf("error %v must wrap both faults.ErrPEDead and cm2.ErrDispatch", err)
 	}
+}
+
+// compileSrcCtl compiles an arbitrary source through the same pipeline
+// as compileCtl.
+func compileSrcCtl(t *testing.T, src string) *fe.Program {
+	t.Helper()
+	tree, err := parser.Parse("t.f90", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := lower.Lower(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omod, _ := opt.Optimize(mod, opt.Default)
+	prog, _, err := partition.Compile(omod, pe.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestBudgetKillsRunawayLoop: the cycle watchdog terminates an
+// intentionally infinite loop with rt.ErrBudget, at the same host step
+// with the same message on every run — a deterministic kill, not a
+// wall-clock timeout.
+func TestBudgetKillsRunawayLoop(t *testing.T) {
+	prog := compileSrcCtl(t, `program loop
+integer i
+i = 0
+do while (i < 1)
+  i = i * 1
+end do
+end program loop
+`)
+	m := Default()
+	_, err1 := m.RunCtl(prog, nil, nil, &Control{MaxCycles: 100_000})
+	if !errors.Is(err1, rt.ErrBudget) {
+		t.Fatalf("want rt.ErrBudget, got %v", err1)
+	}
+	_, err2 := m.RunCtl(prog, nil, nil, &Control{MaxCycles: 100_000})
+	if err1.Error() != err2.Error() {
+		t.Errorf("budget kill not deterministic:\n  %v\n  %v", err1, err2)
+	}
+}
+
+// TestBudgetResumeMatchesUnbudgeted: a run killed mid-flight by the
+// watchdog resumes from its last checkpoint under a higher budget and
+// finishes bit-identical to a run that never had a budget.
+func TestBudgetResumeMatchesUnbudgeted(t *testing.T) {
+	prog := compileCtl(t)
+	m := Default()
+	clean, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last *rt.Checkpoint
+	_, err = m.RunCtl(prog, nil, nil, &Control{
+		MaxCycles:       clean.TotalCycles() / 2,
+		CheckpointEvery: 3,
+		Checkpoint:      func(ck *rt.Checkpoint) error { last = ck; return nil },
+	})
+	if !errors.Is(err, rt.ErrBudget) {
+		t.Fatalf("half-budget run survived: %v", err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint before the budget kill")
+	}
+
+	resumed, err := m.RunCtl(prog, nil, nil, &Control{
+		Resume:    last,
+		MaxCycles: clean.TotalCycles() * 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "budget-resumed", clean, resumed)
+}
+
+// divProg produces +Inf on every lane of c: a is nonzero, b stays 0.0,
+// and c = a/b runs through FDIVV.
+const divProg = `program d
+real a(64), b(64), c(64)
+a = 1.0
+b = 0.0
+c = a / b
+end program d
+`
+
+// TestNumericTrap: in trap mode the first NaN/Inf-producing PE float op
+// fails the run with rt.ErrNumeric, attributing the instruction and
+// the processing element.
+func TestNumericTrap(t *testing.T) {
+	prog := compileSrcCtl(t, divProg)
+	m := Default()
+	_, err := m.RunCtl(prog, nil, nil, &Control{Numeric: rt.NewNumeric(rt.NumericTrap)})
+	if !errors.Is(err, rt.ErrNumeric) {
+		t.Fatalf("want rt.ErrNumeric, got %v", err)
+	}
+	for _, want := range []string{"fdivv", "inf", "processing element"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("trap error lacks %q: %v", want, err)
+		}
+	}
+}
+
+// TestNumericRecord: record mode tallies exceptional lanes per cycle
+// class, completes the run, and leaves the results bit-identical to an
+// uninstrumented run.
+func TestNumericRecord(t *testing.T) {
+	prog := compileSrcCtl(t, divProg)
+	m := Default()
+	plain, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := rt.NewNumeric(rt.NumericRecord)
+	res, err := m.RunCtl(prog, nil, nil, &Control{Numeric: num})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Inf["divide"] != 64 {
+		t.Errorf("Inf[divide] = %d, want 64 (one per lane)", num.Inf["divide"])
+	}
+	if num.Total() != 64 {
+		t.Errorf("Total() = %d, want 64", num.Total())
+	}
+	if res.Numeric != num {
+		t.Error("result does not carry the numeric plane")
+	}
+	sameResult(t, "numeric-record", plain, res)
 }

@@ -21,11 +21,28 @@ type stream struct {
 	coordDim int // 0 = array stream, else coordinate dimension (1-based)
 }
 
+// TestOnlyPerturb, when non-nil, runs after every routine execution
+// with the routine name and the store. It exists solely so tests can
+// deliberately corrupt a backend's results and assert the differential
+// oracle (internal/oracle) catches them with a first-divergence report;
+// production code never sets it. The hook costs one nil check per
+// dispatch.
+var TestOnlyPerturb func(routine string, store *rt.Store)
+
 // ExecRoutine executes a PEAC routine functionally over the whole shape.
 // All PEs run the identical program over their subgrids; executing over
 // the flattened array in chunks is exact for grid-local code. It is
 // shared by every machine model built on the PEAC ISA (CM/2, CM/5).
 func ExecRoutine(r *peac.Routine, over shape.Shape, store *rt.Store) error {
+	return ExecRoutineNum(r, over, store, nil, 0)
+}
+
+// ExecRoutineNum is ExecRoutine under a numeric-exception plane: when
+// num is active, the destination lanes of every can-trap float op are
+// scanned for NaN/Inf after execution, and subgrid (the per-PE element
+// count of the dispatch layout) attributes an exceptional lane to its
+// processing element. A nil num is exactly ExecRoutine.
+func ExecRoutineNum(r *peac.Routine, over shape.Shape, store *rt.Store, num *rt.Numeric, subgrid int) error {
 	n := shape.Size(over)
 	ext := shape.Extents(over)
 	lo := shape.Lowers(over)
@@ -89,9 +106,12 @@ func ExecRoutine(r *peac.Routine, over shape.Shape, store *rt.Store) error {
 
 	for start := 0; start < n; start += chunkSize {
 		w := min(chunkSize, n-start)
-		if err := execChunk(r, regs, slots, memBuf, streams, scalars, start, w, ext, lo, strideBelow); err != nil {
+		if err := execChunk(r, regs, slots, memBuf, streams, scalars, start, w, ext, lo, strideBelow, num, subgrid); err != nil {
 			return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
 		}
+	}
+	if TestOnlyPerturb != nil {
+		TestOnlyPerturb(r.Name, store)
 	}
 	return nil
 }
@@ -127,7 +147,7 @@ func operandVals(o peac.Operand, regs, slots [][]float64, scalars map[int]float6
 
 func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 	streams map[int]stream, scalars map[int]float64,
-	start, w int, ext, lo, strideBelow []int) error {
+	start, w int, ext, lo, strideBelow []int, num *rt.Numeric, subgrid int) error {
 
 	at := func(sl []float64, sc float64, i int) float64 {
 		if sl != nil {
@@ -136,7 +156,7 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 		return sc
 	}
 
-	for _, in := range r.Body {
+	for idx, in := range r.Body {
 		switch in.Op {
 		case peac.JNZ, peac.NOP:
 			continue
@@ -343,6 +363,41 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 		default:
 			return fmt.Errorf("unimplemented opcode %v", in.Mnemonic())
 		}
+		if num != nil && num.Mode != rt.NumericOff && peac.CanTrap(in.Op) {
+			if err := scanNumeric(num, idx, in, dst, start, w, subgrid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanNumeric is the numeric-exception plane: it inspects the freshly
+// written destination lanes of one can-trap float op. Trap mode halts
+// at the first exceptional lane with instruction, element, and PE
+// attribution (the caller prepends the routine name); record mode
+// tallies lanes per cycle class and lets the run continue.
+func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, w, subgrid int) error {
+	class := peac.ClassOf(in).String()
+	for i := 0; i < w; i++ {
+		v := dst[i]
+		nan := v != v
+		if !nan && !math.IsInf(v, 0) {
+			continue
+		}
+		if num.Mode == rt.NumericTrap {
+			kind := "inf"
+			if nan {
+				kind = "nan"
+			}
+			pe := 0
+			if subgrid > 0 {
+				pe = (start + i) / subgrid
+			}
+			return fmt.Errorf("instr %d %s: %s produced at element %d (processing element %d): %w",
+				idx, in.Mnemonic(), kind, start+i, pe, rt.ErrNumeric)
+		}
+		num.Note(class, nan)
 	}
 	return nil
 }

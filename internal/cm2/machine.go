@@ -47,6 +47,18 @@ type Control struct {
 	// Resume restores a snapshot before execution: the store, the
 	// accumulated cycle attribution, and the host resume position.
 	Resume *rt.Checkpoint
+	// MaxCycles is the watchdog budget: when the modeled cycle total
+	// (host + PE + communication) exceeds it, the run is killed
+	// deterministically at the next host tick with an error wrapping
+	// rt.ErrBudget. Zero disables the watchdog. Resuming a killed run
+	// from its last checkpoint with a higher budget continues exactly
+	// where the accumulators left off.
+	MaxCycles float64
+	// Numeric attaches the numeric-exception plane: PE float ops are
+	// scanned for NaN/Inf production, which either traps (rt.ErrNumeric
+	// with PE and instruction attribution) or is tallied per cycle
+	// class. Nil disables the plane.
+	Numeric *rt.Numeric
 }
 
 // Machine is one CM/2 configuration.
@@ -109,6 +121,10 @@ type Result struct {
 	// Faults reports what the fault plane injected and how the runtime
 	// recovered; nil when the run had no injector attached.
 	Faults *faults.Stats
+
+	// Numeric is the numeric-exception plane's per-class NaN/Inf tally;
+	// nil when no plane was attached (see Control.Numeric).
+	Numeric *rt.Numeric
 }
 
 // TotalCycles is the modeled end-to-end cycle count; host, node, and
@@ -174,11 +190,17 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 	}
 
 	var inj *faults.Injector
+	var num *rt.Numeric
 	var hctl *hostvm.Ctl
 	if ctl != nil {
 		inj = ctl.Faults
+		num = ctl.Numeric
+		res.Numeric = num
 		comm.Faults = inj
-		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery}
+		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
+		if ctl.MaxCycles > 0 {
+			hctl.ExtraCycles = func() float64 { return res.PECycles + comm.Cycles }
+		}
 		if ctl.Checkpoint != nil {
 			hctl.Checkpoint = func(vm *hostvm.VM, next int, inLoop bool, iterDone int) error {
 				return ctl.Checkpoint(snapshot(store, vm, comm, res, next, inLoop, iterDone))
@@ -193,7 +215,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res, rec, inj)
+			return m.dispatch(r, over, store, res, rec, inj, num)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -272,11 +294,19 @@ func (res *Result) emit(rec obs.Recorder) {
 	for name, v := range res.PERoutineCycles {
 		obs.Add(rec, "exec/routine/"+name, v)
 	}
+	if res.Numeric != nil {
+		for cl, n := range res.Numeric.NaN {
+			obs.Add(rec, "exec/numeric/nan/"+cl, float64(n))
+		}
+		for cl, n := range res.Numeric.Inf {
+			obs.Add(rec, "exec/numeric/inf/"+cl, float64(n))
+		}
+	}
 }
 
 // dispatch runs one PEAC routine over its shape, charging the cycle model
 // and executing it functionally over the stored arrays.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector) error {
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric) error {
 	if over == nil {
 		return fmt.Errorf("cm2: node routine %s without a shape: %w", r.Name, ErrDispatch)
 	}
@@ -302,7 +332,7 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
 	res.NodeCalls++
 	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
-	return ExecRoutine(r, over, store)
+	return ExecRoutineNum(r, over, store, num, sub)
 }
 
 // injectDispatch applies the fault plane to one node dispatch. A PE

@@ -125,11 +125,19 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 	res.PERoutineCycles = map[string]float64{}
 
 	var inj *faults.Injector
+	var num *rt.Numeric
 	var hctl *hostvm.Ctl
 	if ctl != nil {
 		inj = ctl.Faults
+		num = ctl.Numeric
+		res.Numeric = num
 		comm.Faults = inj
-		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery}
+		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
+		if ctl.MaxCycles > 0 {
+			hctl.ExtraCycles = func() float64 {
+				return res.VUCycles + res.SPARCCycles + res.DegradeCycles + comm.Cycles
+			}
+		}
 		if ctl.Checkpoint != nil {
 			hctl.Checkpoint = func(vm *hostvm.VM, next int, inLoop bool, iterDone int) error {
 				return ctl.Checkpoint(m.snapshot(store, vm, comm, res, next, inLoop, iterDone))
@@ -144,7 +152,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res, inj)
+			return m.dispatch(r, over, store, res, inj, num)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -233,13 +241,21 @@ func (res *Result) emitObs(rec obs.Recorder) {
 	for cl, v := range res.HostClassCycles {
 		obs.Add(rec, "exec/host/"+cl, v)
 	}
+	if res.Numeric != nil {
+		for cl, n := range res.Numeric.NaN {
+			obs.Add(rec, "exec/numeric/nan/"+cl, float64(n))
+		}
+		for cl, n := range res.Numeric.Inf {
+			obs.Add(rec, "exec/numeric/inf/"+cl, float64(n))
+		}
+	}
 }
 
 // dispatch is the three-way split's node half: the control processor has
 // already broadcast the block (host side); here each node's SPARC unpacks
 // arguments and drives its four vector units over a quarter of the node
 // subgrid each.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector) error {
+func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector, num *rt.Numeric) error {
 	if over == nil {
 		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
@@ -283,5 +299,5 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
 	res.NodeCalls++
 	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
-	return cm2.ExecRoutine(r, over, store)
+	return cm2.ExecRoutineNum(r, over, store, num, nodeSub)
 }

@@ -65,19 +65,30 @@ func (s *Service) Run(ctx context.Context, job Job) RunResult {
 	rec := job.Config.Obs
 	span := obs.Start(rec, "exec")
 	defer span.End()
+	ctl := job.Ctl
+	if s.MaxCycles > 0 && (ctl == nil || ctl.MaxCycles == 0) {
+		// Enforce the service default budget, cloning the control plane
+		// first — the job's Control may be shared across jobs.
+		var c cm2.Control
+		if ctl != nil {
+			c = *ctl
+		}
+		c.MaxCycles = s.MaxCycles
+		ctl = &c
+	}
 	switch job.Target {
 	case "", "cm2":
 		m := job.Config.Machine
 		if m == nil {
 			m = cm2.Default()
 		}
-		res.CM2, res.Err = m.RunCtx(ctx, art.Comp.Program, nil, rec, job.Ctl)
+		res.CM2, res.Err = m.RunCtx(ctx, art.Comp.Program, nil, rec, ctl)
 	case "cm5":
 		m := job.CM5
 		if m == nil {
 			m = cm5.Default()
 		}
-		res.CM5, res.Err = m.RunCtx(ctx, art.Comp.Program, rec, job.Ctl)
+		res.CM5, res.Err = m.RunCtx(ctx, art.Comp.Program, rec, ctl)
 	default:
 		res.Err = fmt.Errorf("driver: job %s: unknown target %q", job.Name, job.Target)
 	}

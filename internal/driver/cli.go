@@ -28,12 +28,15 @@ func CheckpointPath(file, explicit string) string {
 }
 
 // ControlOptions bundles the control-plane CLI flags shared by the
-// commands: the fault spec and the checkpoint/resume paths.
+// commands: the fault spec, the checkpoint/resume paths, and the
+// runtime guardrails (cycle budget, numeric-exception plane).
 type ControlOptions struct {
-	Faults          string // -faults spec ("" = no injection)
-	CheckpointEvery int    // -checkpoint-every (0 = off)
-	CheckpointPath  string // -checkpoint ("" = derive from file)
-	ResumePath      string // -resume ("" = fresh run)
+	Faults          string  // -faults spec ("" = no injection)
+	CheckpointEvery int     // -checkpoint-every (0 = off)
+	CheckpointPath  string  // -checkpoint ("" = derive from file)
+	ResumePath      string  // -resume ("" = fresh run)
+	MaxCycles       float64 // -max-cycles watchdog budget (0 = off)
+	Numeric         string  // -numeric off|trap|record ("" = off)
 }
 
 // Build assembles the execution control plane for a run of file,
@@ -44,10 +47,20 @@ func (o ControlOptions) Build(file string, rec obs.Recorder) (*cm2.Control, erro
 	if err != nil {
 		return nil, err
 	}
-	if plan == nil && o.CheckpointEvery == 0 && o.ResumePath == "" {
+	numMode, err := rt.ParseNumericMode(o.Numeric)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil && o.CheckpointEvery == 0 && o.ResumePath == "" &&
+		o.MaxCycles == 0 && numMode == rt.NumericOff {
 		return nil, nil
 	}
-	ctl := &cm2.Control{Faults: faults.New(plan, rec), CheckpointEvery: o.CheckpointEvery}
+	ctl := &cm2.Control{
+		Faults:          faults.New(plan, rec),
+		CheckpointEvery: o.CheckpointEvery,
+		MaxCycles:       o.MaxCycles,
+		Numeric:         rt.NewNumeric(numMode),
+	}
 	if o.CheckpointEvery > 0 {
 		path := CheckpointPath(file, o.CheckpointPath)
 		ctl.Checkpoint = func(ck *rt.Checkpoint) error { return ck.Write(path) }

@@ -76,6 +76,13 @@ type entry struct {
 type Service struct {
 	workers int
 
+	// MaxCycles is the service-wide watchdog budget enforced on every
+	// run whose job does not set its own: a runaway request is killed
+	// deterministically with an error wrapping rt.ErrBudget instead of
+	// occupying a worker forever. Zero disables the default. Set before
+	// the first Run/RunBatch call; it is read concurrently afterwards.
+	MaxCycles float64
+
 	mu     sync.Mutex
 	cache  map[Key]*entry
 	hits   int64

@@ -286,3 +286,33 @@ func TestConcurrentCompileCancelEvicted(t *testing.T) {
 		t.Fatalf("retry after canceled compile failed: %v", err)
 	}
 }
+
+// TestServiceBudgetKillsRunaway: the service-wide MaxCycles default is
+// enforced on jobs that bring no budget of their own, killing a
+// runaway loop deterministically with rt.ErrBudget on both targets.
+func TestServiceBudgetKillsRunaway(t *testing.T) {
+	src := "program loop\ninteger :: i\ni = 0\ndo while (i < 1)\n  i = i * 1\nend do\nend program loop\n"
+	svc := New(2)
+	svc.MaxCycles = 100_000
+	for _, target := range []string{"cm2", "cm5"} {
+		res := svc.Run(context.Background(), Job{
+			Name: "runaway", File: "loop.f90", Source: src,
+			Config: f90y.DefaultConfig(), Target: target,
+		})
+		if !errors.Is(res.Err, rt.ErrBudget) {
+			t.Errorf("%s: want rt.ErrBudget, got %v", target, res.Err)
+		}
+	}
+	// A job with its own tighter Control keeps it: the service default
+	// must not overwrite an explicit per-job budget.
+	res := svc.Run(context.Background(), Job{
+		Name: "own-budget", File: "loop.f90", Source: src,
+		Config: f90y.DefaultConfig(), Ctl: &cm2.Control{MaxCycles: 10_000},
+	})
+	if !errors.Is(res.Err, rt.ErrBudget) {
+		t.Errorf("per-job budget: want rt.ErrBudget, got %v", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "10000") {
+		t.Errorf("per-job budget of 10000 not the one enforced: %v", res.Err)
+	}
+}

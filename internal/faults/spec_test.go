@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecNamesOffendingField: every malformed spec fails with a
+// message that names the offending token or field, not a generic parse
+// error. The `want` fragments must all appear in the error text.
+func TestParseSpecNamesOffendingField(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"seed", []string{"item 1", `"seed"`, "missing '='"}},
+		{"seed=1,bogus", []string{"item 2", `"bogus"`, "missing '='"}},
+		{"seed=abc", []string{"seed", "want an integer", `"abc"`}},
+		{"pe=x", []string{"pe", "probability in [0,1]", `"x"`}},
+		{"drop=1.5", []string{"drop", "probability 1.5 outside [0,1]"}},
+		{"corrupt=-0.1", []string{"corrupt", "outside [0,1]"}},
+		{"delay=nope", []string{"delay", "probability", `"nope"`}},
+		{"stall=2", []string{"stall", "outside [0,1]"}},
+		{"retries=many", []string{"retries", "want an integer", `"many"`}},
+		{"backoff=fast", []string{"backoff", "cycle count", `"fast"`}},
+		{"backoff-cap=-5", []string{"backoff-cap", "negative"}},
+		{"stall-cycles=x", []string{"stall-cycles", "cycle count", `"x"`}},
+		{"delay-cycles=-1", []string{"delay-cycles", "negative"}},
+		{"degrade=maybe", []string{"degrade", "want on or off", `"maybe"`}},
+		{"kill=5", []string{"kill", "missing '@'", "kill=PE@TICK"}},
+		{"kill=abc@10", []string{"kill", "PE", "before '@'", `"abc"`}},
+		{"kill=5@soon", []string{"kill", "tick", "after '@'", `"soon"`}},
+		{"fatal=never", []string{"fatal", "tick", "want an integer", `"never"`}},
+		{"seed=1,warp=0.5", []string{"item 2", "unknown key", `"warp"`}},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected an error", tc.spec)
+			continue
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("ParseSpec(%q) error %q does not name %q", tc.spec, err, frag)
+			}
+		}
+	}
+}
+
+// TestParseSpecAcceptsWellFormed: the full key list round-trips into
+// plan fields, including both kill event halves.
+func TestParseSpecAcceptsWellFormed(t *testing.T) {
+	p, err := ParseSpec("seed=7,pe=0.01,drop=0.02,corrupt=0.03,delay=0.04,stall=0.05," +
+		"retries=3,backoff=50,backoff-cap=400,stall-cycles=10,delay-cycles=20," +
+		"degrade=off,kill=5@10,fatal=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.PEKill != 0.01 || p.Drop != 0.02 || p.Corrupt != 0.03 ||
+		p.Delay != 0.04 || p.Stall != 0.05 || p.MaxRetries != 3 ||
+		p.RetryBackoff != 50 || p.RetryBackoffCap != 400 ||
+		p.StallCycles != 10 || p.DelayCycles != 20 || !p.NoDegrade {
+		t.Fatalf("fields mis-parsed: %+v", p)
+	}
+	if len(p.Events) != 2 ||
+		p.Events[0] != (Event{At: 10, Kind: KillPE, PE: 5}) ||
+		p.Events[1] != (Event{At: 99, Kind: FatalStop}) {
+		t.Fatalf("events mis-parsed: %+v", p.Events)
+	}
+	if p, err := ParseSpec("  "); p != nil || err != nil {
+		t.Fatalf("blank spec: %v, %v", p, err)
+	}
+}

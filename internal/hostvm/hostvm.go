@@ -77,6 +77,16 @@ type Ctl struct {
 	// serial DO completed through iteration iterDone.
 	Checkpoint func(vm *VM, next int, inLoop bool, iterDone int) error
 
+	// MaxCycles is the watchdog budget: when the modeled cycle total
+	// (host cycles plus ExtraCycles) exceeds it, the run is killed
+	// deterministically at the next host tick with an error wrapping
+	// rt.ErrBudget. Zero disables the watchdog.
+	MaxCycles float64
+	// ExtraCycles reports the non-host cycle accumulators (PE and
+	// communication time) so the budget covers the whole modeled
+	// machine, not just the front end. Nil counts host cycles only.
+	ExtraCycles func() float64
+
 	// Resume position (from a checkpoint): skip completed top-level
 	// ops, and when ResumeInLoop is set re-enter op ResumeOp's serial
 	// DO at iteration ResumeIter+1.
@@ -271,7 +281,7 @@ func (vm *VM) exec(ops []fe.Op) error {
 func (vm *VM) tick() error {
 	vm.steps++
 	if vm.steps > vm.limit {
-		return fmt.Errorf("hostvm: step limit exceeded")
+		return fmt.Errorf("hostvm: step limit (%d) exceeded: %w", vm.limit, rt.ErrBudget)
 	}
 	if vm.done != nil {
 		select {
@@ -288,6 +298,16 @@ func (vm *VM) tick() error {
 		}
 		if err != nil {
 			return fmt.Errorf("hostvm: %w", err)
+		}
+		if max := vm.ctl.MaxCycles; max > 0 {
+			total := vm.Cycles
+			if vm.ctl.ExtraCycles != nil {
+				total += vm.ctl.ExtraCycles()
+			}
+			if total > max {
+				return fmt.Errorf("hostvm: %.0f modeled cycles exceed the %.0f-cycle budget at host step %d: %w",
+					total, max, vm.steps, rt.ErrBudget)
+			}
 		}
 	}
 	return nil

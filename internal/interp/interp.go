@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -21,13 +22,28 @@ type Machine struct {
 // stopSignal unwinds execution on STOP.
 type stopSignal struct{}
 
+// ErrSteps is the sentinel wrapped by the interpreter's runaway-loop
+// backstop: errors.Is(err, ErrSteps) distinguishes "program ran too
+// long" from genuine evaluation errors.
+var ErrSteps = errors.New("interpreter step limit exceeded")
+
 // Run interprets a program and returns the finished machine.
 func Run(prog *ast.Program) (m *Machine, err error) {
+	return RunSteps(prog, 0)
+}
+
+// RunSteps interprets a program under an explicit statement-step budget;
+// limit 0 means the default 200M-step runaway backstop. Exceeding the
+// budget fails with an error wrapping ErrSteps.
+func RunSteps(prog *ast.Program, limit int) (m *Machine, err error) {
+	if limit <= 0 {
+		limit = 200_000_000 // runaway-loop backstop
+	}
 	m = &Machine{
 		scalars: map[string]*Val{},
 		arrays:  map[string]*Array{},
 		params:  map[string]Val{},
-		limit:   200_000_000, // runaway-loop backstop
+		limit:   limit,
 	}
 	if derr := m.declare(prog.Decls); derr != nil {
 		return nil, derr
@@ -156,7 +172,7 @@ func (m *Machine) exec(stmts []ast.Stmt) error {
 func (m *Machine) tick(s ast.Stmt) error {
 	m.steps++
 	if m.steps > m.limit {
-		return fmt.Errorf("%s: interpreter step limit exceeded", s.Position())
+		return fmt.Errorf("%s: %d statements: %w", s.Position(), m.steps, ErrSteps)
 	}
 	return nil
 }

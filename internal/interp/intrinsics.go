@@ -1,8 +1,10 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"f90y/internal/ast"
 )
@@ -57,7 +59,26 @@ func (m *Machine) evalIntrinsic(e *ast.Index) (result, error) {
 	case "size":
 		return m.evalSize(e, args)
 	}
-	return result{}, fmt.Errorf("%s: unknown function or array %q", e.Pos, e.Name)
+	return result{}, fmt.Errorf("%s: unknown function or array %q: %w", e.Pos, e.Name, ErrUnknownIntrinsic)
+}
+
+// ErrUnknownIntrinsic is wrapped when a call names neither an array nor
+// a supported intrinsic, so callers can distinguish coverage gaps from
+// evaluation failures.
+var ErrUnknownIntrinsic = errors.New("unsupported intrinsic")
+
+// IntrinsicNames returns the sorted names of every intrinsic the
+// interpreter evaluates. The backend audit test cross-checks this list
+// against lower.IntrinsicNames so the reference and compiled paths
+// cannot silently drift apart.
+func IntrinsicNames() []string {
+	names := make([]string, 0, len(intrinsicParams)+2)
+	for n := range intrinsicParams {
+		names = append(names, n)
+	}
+	names = append(names, "min", "max") // variadic, not in intrinsicParams
+	sort.Strings(names)
+	return names
 }
 
 var intrinsicParams = map[string][]string{

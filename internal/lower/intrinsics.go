@@ -1,10 +1,24 @@
 package lower
 
 import (
+	"sort"
+
 	"f90y/internal/ast"
 	"f90y/internal/nir"
 	"f90y/internal/shape"
 )
+
+// IntrinsicNames returns the sorted names of every intrinsic the
+// compiler lowers. Cross-checked against interp.IntrinsicNames by the
+// backend coverage audit.
+func IntrinsicNames() []string {
+	names := make([]string, 0, len(intrinsics))
+	for n := range intrinsics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // intrinsicFn lowers one intrinsic call.
 type intrinsicFn func(*lowerer, *ast.Index) tv

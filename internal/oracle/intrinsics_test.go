@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"f90y/internal/interp"
+	"f90y/internal/lower"
+	"f90y/internal/parser"
+)
+
+// TestIntrinsicCoverageCrossList: the reference interpreter and the
+// compiled pipeline support exactly the same intrinsic set — any
+// intrinsic present on one side but not the other would let a program
+// run on one backend and fail (or silently differ) on the other,
+// defeating the differential oracle.
+func TestIntrinsicCoverageCrossList(t *testing.T) {
+	iv := interp.IntrinsicNames()
+	lv := lower.IntrinsicNames()
+	is := map[string]bool{}
+	for _, n := range iv {
+		is[n] = true
+	}
+	ls := map[string]bool{}
+	for _, n := range lv {
+		ls[n] = true
+	}
+	for _, n := range iv {
+		if !ls[n] {
+			t.Errorf("intrinsic %q: interpreter only (compiler cannot lower it)", n)
+		}
+	}
+	for _, n := range lv {
+		if !is[n] {
+			t.Errorf("intrinsic %q: compiler only (no reference semantics)", n)
+		}
+	}
+}
+
+// TestUnknownIntrinsicTyped: a call to a nonexistent intrinsic fails in
+// the interpreter with an error wrapping interp.ErrUnknownIntrinsic and
+// naming the call, so coverage gaps are machine-distinguishable from
+// evaluation failures.
+func TestUnknownIntrinsicTyped(t *testing.T) {
+	src := "program t\nreal :: x\nx = frobnicate(1.0)\nend program t\n"
+	tree, err := parser.Parse("t.f90", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = interp.Run(tree)
+	if !errors.Is(err, interp.ErrUnknownIntrinsic) {
+		t.Fatalf("want ErrUnknownIntrinsic, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("error does not name the call: %v", err)
+	}
+}
+
+// TestIntrinsicsAgreeDifferentially: an intrinsic-heavy program runs
+// through the full three-backend differential check, exercising the
+// elementals, reductions, shifts, and transformationals on real data.
+func TestIntrinsicsAgreeDifferentially(t *testing.T) {
+	src := fmt.Sprintf(`program intr
+integer, parameter :: n = %d
+real, dimension(n) :: a, b, c
+real, dimension(n, n) :: m, mt
+real :: s, p, d
+integer :: i, k
+logical, dimension(n) :: g
+do i = 1, n
+  a(i) = real(i) * 0.5 + 1.0
+end do
+b = sqrt(a) + sin(a) * cos(a) - exp(a / real(n)) + log(a)
+c = cshift(a, 1) + eoshift(a, -1) + abs(b) + max(a, b) - min(a, b)
+c = merge(a, c, a > 2.0)
+g = a > real(n) / 4.0
+s = sum(a) + product(a / real(n))
+p = maxval(b) - minval(b) + real(count(g))
+d = dot_product(a, b)
+do i = 1, n
+  do k = 1, n
+    m(i, k) = a(i) + real(k)
+  end do
+end do
+mt = transpose(m)
+k = size(a)
+print *, s, p, d, k
+end program intr
+`, 8)
+	rep, err := Verify("intr.f90", src, Options{})
+	if err != nil {
+		t.Fatalf("intrinsic differential check failed: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Fatalf("divergence: %s", rep.Divergence)
+	}
+}

@@ -60,6 +60,20 @@ func ClassOf(i Instr) CycleClass {
 	return ClassVector
 }
 
+// CanTrap reports whether op can produce a NaN or infinity from its
+// operands — the instructions the numeric-exception plane (rt.Numeric)
+// scans after execution. Moves, compares, mask logic, selects, min/max,
+// negate/abs/trunc, and load/store only propagate lanes bit-for-bit and
+// are never scanned.
+func CanTrap(op Opcode) bool {
+	switch op {
+	case FADDV, FSUBV, FMULV, FDIVV, FMODV, FMADDV, FMSUBV,
+		FSQRTV, FSINV, FCOSV, FTANV, FEXPV, FLOGV:
+		return true
+	}
+	return false
+}
+
 // ClassCycles is a per-class cycle tally for one loop iteration.
 type ClassCycles [NumCycleClasses]int
 
