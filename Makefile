@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency soak-short soak bench bench-batch clean
+.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency soak-short soak bench bench-exec bench-batch clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
@@ -25,9 +25,12 @@ race:
 	$(GO) test -race -short ./...
 
 # Race-enabled concurrency gate: shared-artifact determinism, compile
-# cache singleflight, batch serial/parallel identity, cancellation.
+# cache singleflight, batch serial/parallel identity, cancellation, and
+# the sharded-executor determinism test (bit-exact stores, cycles, and
+# fault/numeric tallies across -exec-workers values, with fault
+# injection and the numeric record plane active).
 concurrency:
-	$(GO) test -race -run Concurrent ./...
+	$(GO) test -race -run 'Concurrent|ExecParallelDeterminism' ./...
 
 # Smoke-test the f90y-bench/v1 JSON writer end to end, serial and with
 # the parallel batch pool.
@@ -65,7 +68,12 @@ soak:
 	$(GO) run ./cmd/swebench -soak 25 -parallel -1
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
+
+# Sharded-executor scaling: SWE wall-clock across -exec-workers 1/2/4/8
+# (modeled metrics are identical by construction; see EXPERIMENTS.md).
+bench-exec:
+	$(GO) test -bench 'SWE_ExecWorkers' -benchmem -run '^$$' .
 
 # Time the full experiment suite serial vs parallel and write the
 # f90y-batch/v1 comparison record.

@@ -6,7 +6,7 @@
 //
 //	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json]
 //	        [-timeout 30s] [-max-cycles N] [-numeric off|trap|record]
-//	        [-faults spec] [-checkpoint-every N]
+//	        [-exec-workers N] [-faults spec] [-checkpoint-every N]
 //	        [-checkpoint ckpt.json] [-resume ckpt.json] file.f90
 //
 // With -verify the program is run through the differential oracle
@@ -30,6 +30,13 @@
 // on the first NaN or Inf produced by a PE float op (with PE and
 // instruction attribution); "record" tallies exceptional lanes per
 // cycle class into the telemetry counters instead.
+//
+// -exec-workers N shards each PEAC routine dispatch across N host
+// worker goroutines over disjoint element ranges (1 = serial, the
+// default; N < 0 selects GOMAXPROCS). Results — stores, output, cycle
+// totals, GFLOPS, numeric tallies — are bit-identical for every worker
+// count; only host wall-clock changes. The analytic cycle model is
+// untouched: it prices the simulated machine, not the host.
 //
 // -faults attaches a deterministic fault-injection plan (see
 // internal/faults.ParseSpec for the full key list). -checkpoint-every N
@@ -66,6 +73,7 @@ var (
 	flagTimeout = flag.Duration("timeout", 0, "abort the compile+run after this duration (0 = no limit)")
 	flagMaxCyc  = flag.Float64("max-cycles", 0, "kill the run after this many modeled cycles (0 = no budget)")
 	flagNumeric = flag.String("numeric", "", "numeric-exception plane: off, trap, or record")
+	flagExecW   = flag.Int("exec-workers", 1, "shard each routine dispatch across N workers (1 = serial, <0 = GOMAXPROCS); results are bit-exact")
 	flagFaults  = flag.String("faults", "", driver.FaultsHelp)
 	flagCkEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N host boundaries (0 = off)")
 	flagCkPath  = flag.String("checkpoint", "", "checkpoint file path (default <file>.ckpt.json)")
@@ -122,6 +130,7 @@ func main() {
 		ResumePath:      *flagResume,
 		MaxCycles:       *flagMaxCyc,
 		Numeric:         *flagNumeric,
+		ExecWorkers:     *flagExecW,
 	}.Build(file, cfg.Obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "f90yrun:", err)

@@ -23,8 +23,6 @@ import (
 	"fmt"
 	"runtime"
 	"time"
-
-	"f90y/internal/driver"
 )
 
 type batchRecord struct {
@@ -58,7 +56,7 @@ func runBenchBatch(path string, n, steps, workers int) error {
 	pass := func(w int) (time.Duration, []byte, error) {
 		var buf bytes.Buffer
 		start := time.Now()
-		err := runSuite(&buf, driver.New(w), ids, n, steps, w)
+		err := runSuite(&buf, newService(w), ids, n, steps, w)
 		return time.Since(start), buf.Bytes(), err
 	}
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	swebench [-n 1024] [-steps 4] [-experiment e1|e2|e3|e4|e5|e6|e7|all]
-//	         [-parallel N]
+//	         [-parallel N] [-exec-workers N]
 //	swebench -json [-parallel N] [-o BENCH_swe.json] [-n 1024] [-steps 4]
 //	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
 //	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
@@ -31,6 +31,13 @@
 // both backends (see soak.go); fault-invariance violations are
 // minimized to reproducer specs under -repro-dir and fail the command.
 // -json writes a "f90y-soak/v1" record to -o (default stdout).
+//
+// -exec-workers N is orthogonal to -parallel: where -parallel runs
+// whole experiments concurrently, -exec-workers shards each individual
+// PEAC routine dispatch across N chunk workers over disjoint element
+// ranges (1 = serial, the default; N < 0 selects GOMAXPROCS). Every
+// table, record, and cycle total is bit-identical for every value —
+// only host wall-clock changes.
 package main
 
 import (
@@ -65,7 +72,26 @@ var (
 	flagBenchBatch = flag.Bool("bench-batch", false, "time the suite serial vs parallel and write a f90y-batch/v1 record")
 	flagSoak       = flag.Int("soak", 0, "chaos-soak: verify all kernels differentially, then sweep N seeds x fault plans x backends")
 	flagReproDir   = flag.String("repro-dir", "soak-repros", "directory for fault-invariance reproducer specs (-soak)")
+	flagExecW      = flag.Int("exec-workers", 1, "shard each routine dispatch across N chunk workers (1 = serial, <0 = GOMAXPROCS); results are bit-exact")
 )
+
+// execWorkers normalizes the -exec-workers flag: explicit serial (1)
+// becomes the zero value so the zero-overhead executor path is taken.
+func execWorkers() int {
+	if *flagExecW == 1 {
+		return 0
+	}
+	return *flagExecW
+}
+
+// newService builds the shared compile-and-run service with the
+// -exec-workers default applied, so every run the suite dispatches
+// shards its routines the same way.
+func newService(workers int) *driver.Service {
+	svc := driver.New(workers)
+	svc.ExecWorkers = execWorkers()
+	return svc
+}
 
 // experiment is one reproduction: it renders its table to w, running
 // compiles and executions through the shared service.
@@ -111,7 +137,7 @@ func main() {
 	} else {
 		ids = append(ids, *flagExp)
 	}
-	svc := driver.New(workers)
+	svc := newService(workers)
 	if err := runSuite(os.Stdout, svc, ids, *flagN, *flagSteps, workers); err != nil {
 		die(err)
 	}

@@ -1,8 +1,12 @@
 package cm2
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"f90y/internal/peac"
 	"f90y/internal/rt"
@@ -11,7 +15,11 @@ import (
 
 // chunkSize bounds executor memory: registers are materialized for this
 // many elements at a time. The cycle model is analytic, so the chunk size
-// has no effect on reported performance, only on simulation memory.
+// has no effect on reported performance, only on simulation memory. It is
+// also the sharding grain of the parallel executor: chunk boundaries are
+// fixed by this constant, never by the worker count, which is one of the
+// two invariants that make results bit-exact under parallelism (the other
+// is that chunks cover disjoint element ranges).
 const chunkSize = 4096
 
 // stream is one pointer-register binding: an array subgrid stream or a
@@ -29,12 +37,37 @@ type stream struct {
 // dispatch.
 var TestOnlyPerturb func(routine string, store *rt.Store)
 
+// ExecOpts configures one routine execution beyond the routine, shape,
+// and store themselves. The zero value is the plain serial path.
+type ExecOpts struct {
+	// Num attaches the numeric-exception plane: destination lanes of
+	// every can-trap float op are scanned for NaN/Inf after execution.
+	// Nil disables the scan.
+	Num *rt.Numeric
+	// Subgrid is the per-PE element count of the dispatch layout, used
+	// to attribute an exceptional lane to its processing element.
+	Subgrid int
+	// PEs is the machine's processing-element count; when positive it
+	// clamps the numeric plane's PE attribution, so a caller-supplied
+	// subgrid that does not tile the shape exactly can never report a
+	// processing element beyond the machine.
+	PEs int
+	// Workers fans chunk execution out across a worker pool: 0 and 1
+	// run serially, n > 1 runs n workers, negative selects GOMAXPROCS.
+	// Results are bit-exact and invariant under the worker count:
+	// chunks cover disjoint element ranges, so grid-local routines
+	// execute independently per chunk, and every per-element value is
+	// computed by the identical instruction sequence regardless of
+	// which worker ran its chunk.
+	Workers int
+}
+
 // ExecRoutine executes a PEAC routine functionally over the whole shape.
 // All PEs run the identical program over their subgrids; executing over
 // the flattened array in chunks is exact for grid-local code. It is
 // shared by every machine model built on the PEAC ISA (CM/2, CM/5).
 func ExecRoutine(r *peac.Routine, over shape.Shape, store *rt.Store) error {
-	return ExecRoutineNum(r, over, store, nil, 0)
+	return ExecRoutineOpts(context.Background(), r, over, store, ExecOpts{})
 }
 
 // ExecRoutineNum is ExecRoutine under a numeric-exception plane: when
@@ -43,6 +76,24 @@ func ExecRoutine(r *peac.Routine, over shape.Shape, store *rt.Store) error {
 // count of the dispatch layout) attributes an exceptional lane to its
 // processing element. A nil num is exactly ExecRoutine.
 func ExecRoutineNum(r *peac.Routine, over shape.Shape, store *rt.Store, num *rt.Numeric, subgrid int) error {
+	return ExecRoutineOpts(context.Background(), r, over, store, ExecOpts{Num: num, Subgrid: subgrid})
+}
+
+// ExecRoutineOpts is the full-form executor entry point: ExecRoutine
+// under a context, a numeric-exception plane, and an optional chunk
+// worker pool (see ExecOpts). The context is honored by the parallel
+// path between chunks: a canceled context stops the fan-out and returns
+// an error wrapping rt.ErrCanceled.
+//
+// Error and numeric-plane semantics under parallelism are deterministic:
+// the error returned is always the one the serial executor would have
+// hit first (the failing chunk with the lowest element range wins,
+// regardless of worker completion order), and record-mode numeric
+// tallies are merged per class, so totals match a serial run exactly.
+// The only divergence a failing parallel run may exhibit is which
+// not-yet-reported chunks also executed before the pool drained — a
+// failed run's store contents are unspecified on the serial path too.
+func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, o ExecOpts) error {
 	n := shape.Size(over)
 	ext := shape.Extents(over)
 	lo := shape.Lowers(over)
@@ -94,20 +145,93 @@ func ExecRoutineNum(r *peac.Routine, over shape.Shape, store *rt.Store, num *rt.
 			}
 		}
 	}
-	regs := make([][]float64, nregs)
-	for i := range regs {
-		regs[i] = make([]float64, chunkSize)
-	}
-	slots := make([][]float64, r.SpillSlots)
-	for i := range slots {
-		slots[i] = make([]float64, chunkSize)
-	}
-	memBuf := make([]float64, chunkSize)
 
-	for start := 0; start < n; start += chunkSize {
-		w := min(chunkSize, n-start)
-		if err := execChunk(r, regs, slots, memBuf, streams, scalars, start, w, ext, lo, strideBelow, num, subgrid); err != nil {
-			return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
+	nchunks := (n + chunkSize - 1) / chunkSize
+	workers := o.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	if workers <= 1 {
+		ws := getWorkspace(nregs, r.SpillSlots)
+		defer putWorkspace(ws)
+		for start := 0; start < n; start += chunkSize {
+			w := min(chunkSize, n-start)
+			if err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, o.Num, o.Subgrid, o.PEs); err != nil {
+				return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
+			}
+		}
+		if TestOnlyPerturb != nil {
+			TestOnlyPerturb(r.Name, store)
+		}
+		return nil
+	}
+
+	// Parallel fan-out. Chunks are claimed off a monotone counter, so by
+	// the time chunk k is claimed every chunk below k has been claimed
+	// too; a failing chunk cancels further claims but already-claimed
+	// chunks run to completion. Together these guarantee that the
+	// lowest-indexed error is always discovered, which is exactly the
+	// error the serial loop would have returned.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next   atomic.Int64
+		done   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, nchunks)
+	nums := make([]*rt.Numeric, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			ws := getWorkspace(nregs, r.SpillSlots)
+			defer putWorkspace(ws)
+			// Each worker tallies (or traps) into a private plane;
+			// record-mode counts merge after the pool drains.
+			var wnum *rt.Numeric
+			if o.Num != nil {
+				wnum = &rt.Numeric{Mode: o.Num.Mode}
+				nums[wk] = wnum
+			}
+			for cctx.Err() == nil {
+				idx := int(next.Add(1)) - 1
+				if idx >= nchunks {
+					return
+				}
+				start := idx * chunkSize
+				w := min(chunkSize, n-start)
+				if err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, wnum, o.Subgrid, o.PEs); err != nil {
+					errs[idx] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+				done.Add(1)
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
+			}
+		}
+	}
+	if int(done.Load()) < nchunks {
+		// No chunk failed but not all ran: the caller's context ended.
+		return fmt.Errorf("cm2: routine %s: %w", r.Name, rt.Canceled(ctx))
+	}
+	if o.Num != nil {
+		for _, wn := range nums {
+			o.Num.Merge(wn)
 		}
 	}
 	if TestOnlyPerturb != nil {
@@ -115,6 +239,45 @@ func ExecRoutineNum(r *peac.Routine, over shape.Shape, store *rt.Store, num *rt.
 	}
 	return nil
 }
+
+// workspace is one executor worker's private mutable state: the
+// materialized vector register file, the spill area, and one fetch
+// buffer per chained-memory operand position (A, B, C — each distinct
+// chained stream of an instruction gets its own buffer, so an
+// instruction may chain several streams without aliasing). Workspaces
+// are pooled: the per-routine register-file allocation that used to
+// dominate small dispatches is paid once per worker lifetime, not once
+// per routine.
+type workspace struct {
+	regs  [][]float64
+	slots [][]float64
+	mem   [3][]float64
+}
+
+var wsPool = sync.Pool{New: func() any { return &workspace{} }}
+
+// getWorkspace returns a pooled workspace with capacity for at least
+// nregs vector registers and nslots spill slots. Lane contents are
+// unspecified: PEAC routines are single basic blocks whose register
+// allocator guarantees definition before use, and every op writes
+// exactly the [0, w) lanes it is asked for.
+func getWorkspace(nregs, nslots int) *workspace {
+	ws := wsPool.Get().(*workspace)
+	for len(ws.regs) < nregs {
+		ws.regs = append(ws.regs, make([]float64, chunkSize))
+	}
+	for len(ws.slots) < nslots {
+		ws.slots = append(ws.slots, make([]float64, chunkSize))
+	}
+	for i := range ws.mem {
+		if ws.mem[i] == nil {
+			ws.mem[i] = make([]float64, chunkSize)
+		}
+	}
+	return ws
+}
+
+func putWorkspace(ws *workspace) { wsPool.Put(ws) }
 
 // fetchMem reads a pointer stream for [start, start+w) into dst.
 func fetchMem(st stream, dst []float64, start, w int, ext, lo, strideBelow []int) {
@@ -129,25 +292,35 @@ func fetchMem(st stream, dst []float64, start, w int, ext, lo, strideBelow []int
 	copy(dst[:w], st.arr.Data[start:start+w])
 }
 
-// operandVals resolves an operand to either a lane slice or a broadcast
-// scalar.
-func operandVals(o peac.Operand, regs, slots [][]float64, scalars map[int]float64, memBuf []float64) (sl []float64, sc float64) {
-	switch o.Kind {
-	case peac.VReg:
-		return regs[o.N], 0
-	case peac.SReg:
-		return nil, scalars[o.N]
-	case peac.Mem:
-		return memBuf, 0 // caller pre-fetched
-	case peac.SpillSlot:
-		return slots[o.N], 0
-	}
-	return nil, 0
-}
+func execChunk(r *peac.Routine, ws *workspace, streams map[int]stream, scalars map[int]float64,
+	start, w int, ext, lo, strideBelow []int, num *rt.Numeric, subgrid, npes int) error {
 
-func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
-	streams map[int]stream, scalars map[int]float64,
-	start, w int, ext, lo, strideBelow []int, num *rt.Numeric, subgrid int) error {
+	regs, slots := ws.regs, ws.slots
+
+	// source resolves one operand to a lane slice or a broadcast scalar.
+	// A chained memory operand is fetched into buf — each operand
+	// position passes its own buffer, so an instruction with several
+	// chained streams (Mem in A and B, an FSTRV with a Mem source or
+	// mask) reads each stream's own lanes, never another operand's
+	// leftover fetch.
+	source := func(o peac.Operand, buf []float64) ([]float64, float64, error) {
+		switch o.Kind {
+		case peac.VReg:
+			return regs[o.N], 0, nil
+		case peac.SReg:
+			return nil, scalars[o.N], nil
+		case peac.SpillSlot:
+			return slots[o.N], 0, nil
+		case peac.Mem:
+			st, ok := streams[o.N]
+			if !ok {
+				return nil, 0, fmt.Errorf("chained load from unbound pointer aP%d", o.N)
+			}
+			fetchMem(st, buf, start, w, ext, lo, strideBelow)
+			return buf, 0, nil
+		}
+		return nil, 0, nil
+	}
 
 	at := func(sl []float64, sc float64, i int) float64 {
 		if sl != nil {
@@ -178,9 +351,15 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 			if !ok || st.arr == nil {
 				return fmt.Errorf("store to unbound pointer aP%d", in.D.N)
 			}
-			src, srcSc := operandVals(in.A, regs, slots, scalars, memBuf)
+			src, srcSc, err := source(in.A, ws.mem[0])
+			if err != nil {
+				return err
+			}
 			if in.C.Kind != peac.NoOperand {
-				mask, maskSc := operandVals(in.C, regs, slots, scalars, memBuf)
+				mask, maskSc, err := source(in.C, ws.mem[2])
+				if err != nil {
+					return err
+				}
 				for i := 0; i < w; i++ {
 					if at(mask, maskSc, i) != 0 {
 						st.arr.StoreVal(start+i, at(src, srcSc, i))
@@ -194,24 +373,20 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 			continue
 		}
 
-		// Arithmetic: resolve a chained memory operand first.
-		a, b, c := in.A, in.B, in.C
-		if a.Kind == peac.Mem {
-			st, ok := streams[a.N]
-			if !ok {
-				return fmt.Errorf("chained load from unbound pointer aP%d", a.N)
-			}
-			fetchMem(st, memBuf, start, w, ext, lo, strideBelow)
-		} else if b.Kind == peac.Mem {
-			st, ok := streams[b.N]
-			if !ok {
-				return fmt.Errorf("chained load from unbound pointer aP%d", b.N)
-			}
-			fetchMem(st, memBuf, start, w, ext, lo, strideBelow)
+		// Arithmetic: resolve the sources, fetching each chained memory
+		// operand into its own per-position buffer.
+		av, asc, err := source(in.A, ws.mem[0])
+		if err != nil {
+			return err
 		}
-		av, asc := operandVals(a, regs, slots, scalars, memBuf)
-		bv, bsc := operandVals(b, regs, slots, scalars, memBuf)
-		cv, csc := operandVals(c, regs, slots, scalars, memBuf)
+		bv, bsc, err := source(in.B, ws.mem[1])
+		if err != nil {
+			return err
+		}
+		cv, csc, err := source(in.C, ws.mem[2])
+		if err != nil {
+			return err
+		}
 		dst := regs[in.D.N]
 
 		switch in.Op {
@@ -364,7 +539,7 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 			return fmt.Errorf("unimplemented opcode %v", in.Mnemonic())
 		}
 		if num != nil && num.Mode != rt.NumericOff && peac.CanTrap(in.Op) {
-			if err := scanNumeric(num, idx, in, dst, start, w, subgrid); err != nil {
+			if err := scanNumeric(num, idx, in, dst, start, w, subgrid, npes); err != nil {
 				return err
 			}
 		}
@@ -376,8 +551,11 @@ func execChunk(r *peac.Routine, regs, slots [][]float64, memBuf []float64,
 // written destination lanes of one can-trap float op. Trap mode halts
 // at the first exceptional lane with instruction, element, and PE
 // attribution (the caller prepends the routine name); record mode
-// tallies lanes per cycle class and lets the run continue.
-func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, w, subgrid int) error {
+// tallies lanes per cycle class and lets the run continue. When npes is
+// positive the PE attribution is clamped to the machine: a subgrid that
+// does not tile the shape exactly can otherwise compute an element-to-PE
+// quotient past the last processing element.
+func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, w, subgrid, npes int) error {
 	class := peac.ClassOf(in).String()
 	for i := 0; i < w; i++ {
 		v := dst[i]
@@ -393,6 +571,9 @@ func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, 
 			pe := 0
 			if subgrid > 0 {
 				pe = (start + i) / subgrid
+				if npes > 0 && pe >= npes {
+					pe = npes - 1
+				}
 			}
 			return fmt.Errorf("instr %d %s: %s produced at element %d (processing element %d): %w",
 				idx, in.Mnemonic(), kind, start+i, pe, rt.ErrNumeric)

@@ -59,6 +59,14 @@ type Control struct {
 	// with PE and instruction attribution) or is tallied per cycle
 	// class. Nil disables the plane.
 	Numeric *rt.Numeric
+	// ExecWorkers shards every PEAC routine dispatch across a chunk
+	// worker pool: 0 and 1 execute serially, n > 1 uses n workers, and
+	// a negative value selects GOMAXPROCS. Results — store contents,
+	// output, cycle totals, numeric tallies — are bit-exact and
+	// invariant under the worker count; only simulator wall-clock
+	// changes. The analytic cycle model is computed before dispatch and
+	// is untouched by the fan-out.
+	ExecWorkers int
 }
 
 // Machine is one CM/2 configuration.
@@ -192,10 +200,12 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 	var inj *faults.Injector
 	var num *rt.Numeric
 	var hctl *hostvm.Ctl
+	workers := 0
 	if ctl != nil {
 		inj = ctl.Faults
 		num = ctl.Numeric
 		res.Numeric = num
+		workers = ctl.ExecWorkers
 		comm.Faults = inj
 		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
 		if ctl.MaxCycles > 0 {
@@ -215,7 +225,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res, rec, inj, num)
+			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -305,8 +315,9 @@ func (res *Result) emit(rec obs.Recorder) {
 }
 
 // dispatch runs one PEAC routine over its shape, charging the cycle model
-// and executing it functionally over the stored arrays.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric) error {
+// and executing it functionally over the stored arrays, optionally
+// sharded across a chunk worker pool (Control.ExecWorkers).
+func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int) error {
 	if over == nil {
 		return fmt.Errorf("cm2: node routine %s without a shape: %w", r.Name, ErrDispatch)
 	}
@@ -332,7 +343,7 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
 	res.NodeCalls++
 	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
-	return ExecRoutineNum(r, over, store, num, sub)
+	return ExecRoutineOpts(ctx, r, over, store, ExecOpts{Num: num, Subgrid: sub, PEs: m.PEs, Workers: workers})
 }
 
 // injectDispatch applies the fault plane to one node dispatch. A PE

@@ -127,10 +127,12 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 	var inj *faults.Injector
 	var num *rt.Numeric
 	var hctl *hostvm.Ctl
+	workers := 0
 	if ctl != nil {
 		inj = ctl.Faults
 		num = ctl.Numeric
 		res.Numeric = num
+		workers = ctl.ExecWorkers
 		comm.Faults = inj
 		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
 		if ctl.MaxCycles > 0 {
@@ -152,7 +154,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(r, over, store, res, inj, num)
+			return m.dispatch(ctx, r, over, store, res, inj, num, workers)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -255,7 +257,7 @@ func (res *Result) emitObs(rec obs.Recorder) {
 // already broadcast the block (host side); here each node's SPARC unpacks
 // arguments and drives its four vector units over a quarter of the node
 // subgrid each.
-func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector, num *rt.Numeric) error {
+func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector, num *rt.Numeric, workers int) error {
 	if over == nil {
 		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
@@ -299,5 +301,6 @@ func (m *Machine) dispatch(r *peac.Routine, over shape.Shape, store *rt.Store, r
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
 	res.NodeCalls++
 	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
-	return cm2.ExecRoutineNum(r, over, store, num, nodeSub)
+	return cm2.ExecRoutineOpts(ctx, r, over, store,
+		cm2.ExecOpts{Num: num, Subgrid: nodeSub, PEs: m.Nodes, Workers: workers})
 }

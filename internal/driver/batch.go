@@ -66,15 +66,25 @@ func (s *Service) Run(ctx context.Context, job Job) RunResult {
 	span := obs.Start(rec, "exec")
 	defer span.End()
 	ctl := job.Ctl
-	if s.MaxCycles > 0 && (ctl == nil || ctl.MaxCycles == 0) {
-		// Enforce the service default budget, cloning the control plane
-		// first — the job's Control may be shared across jobs.
+	// Service-wide defaults (watchdog budget, executor sharding) apply
+	// to jobs that don't set their own, cloning the control plane first
+	// — the job's Control may be shared across jobs.
+	clone := func() *cm2.Control {
 		var c cm2.Control
 		if ctl != nil {
 			c = *ctl
 		}
+		return &c
+	}
+	if s.MaxCycles > 0 && (ctl == nil || ctl.MaxCycles == 0) {
+		c := clone()
 		c.MaxCycles = s.MaxCycles
-		ctl = &c
+		ctl = c
+	}
+	if s.ExecWorkers != 0 && (ctl == nil || ctl.ExecWorkers == 0) {
+		c := clone()
+		c.ExecWorkers = s.ExecWorkers
+		ctl = c
 	}
 	switch job.Target {
 	case "", "cm2":

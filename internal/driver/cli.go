@@ -37,6 +37,7 @@ type ControlOptions struct {
 	ResumePath      string  // -resume ("" = fresh run)
 	MaxCycles       float64 // -max-cycles watchdog budget (0 = off)
 	Numeric         string  // -numeric off|trap|record ("" = off)
+	ExecWorkers     int     // -exec-workers executor sharding (0/1 = serial, <0 = GOMAXPROCS)
 }
 
 // Build assembles the execution control plane for a run of file,
@@ -51,8 +52,12 @@ func (o ControlOptions) Build(file string, rec obs.Recorder) (*cm2.Control, erro
 	if err != nil {
 		return nil, err
 	}
+	workers := o.ExecWorkers
+	if workers == 1 {
+		workers = 0 // explicit serial: same zero-overhead path as unset
+	}
 	if plan == nil && o.CheckpointEvery == 0 && o.ResumePath == "" &&
-		o.MaxCycles == 0 && numMode == rt.NumericOff {
+		o.MaxCycles == 0 && numMode == rt.NumericOff && workers == 0 {
 		return nil, nil
 	}
 	ctl := &cm2.Control{
@@ -60,6 +65,7 @@ func (o ControlOptions) Build(file string, rec obs.Recorder) (*cm2.Control, erro
 		CheckpointEvery: o.CheckpointEvery,
 		MaxCycles:       o.MaxCycles,
 		Numeric:         rt.NewNumeric(numMode),
+		ExecWorkers:     workers,
 	}
 	if o.CheckpointEvery > 0 {
 		path := CheckpointPath(file, o.CheckpointPath)

@@ -83,6 +83,14 @@ type Service struct {
 	// the first Run/RunBatch call; it is read concurrently afterwards.
 	MaxCycles float64
 
+	// ExecWorkers is the service-wide default for the sharded PEAC
+	// executor, applied to every run whose job does not set its own
+	// cm2.Control.ExecWorkers: n > 1 fans each routine dispatch across
+	// n chunk workers, negative selects GOMAXPROCS, 0 and 1 stay
+	// serial. Results are bit-exact regardless. Set before the first
+	// Run/RunBatch call; it is read concurrently afterwards.
+	ExecWorkers int
+
 	mu     sync.Mutex
 	cache  map[Key]*entry
 	hits   int64

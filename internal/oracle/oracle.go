@@ -62,6 +62,11 @@ type Options struct {
 	// MaxCycles bounds each backend run (rt.ErrBudget on overrun);
 	// zero disables the watchdog.
 	MaxCycles float64
+	// ExecWorkers shards each machine backend's routine dispatches
+	// across chunk workers (0/1 = serial, <0 = GOMAXPROCS). Because the
+	// sharded executor is bit-exact, the cm2-vs-cm5 0-ULP check and the
+	// interpreter tolerance are unchanged.
+	ExecWorkers int
 	// InterpSteps bounds the interpreter (interp.ErrSteps on overrun);
 	// zero means the interpreter's default backstop.
 	InterpSteps int
@@ -135,10 +140,10 @@ func Verify(file, src string, o Options) (*Report, error) {
 		return nil, fmt.Errorf("oracle: interp: %w", err)
 	}
 	ctl := func() *cm2.Control {
-		if o.MaxCycles <= 0 {
+		if o.MaxCycles <= 0 && o.ExecWorkers == 0 {
 			return nil
 		}
-		return &cm2.Control{MaxCycles: o.MaxCycles}
+		return &cm2.Control{MaxCycles: o.MaxCycles, ExecWorkers: o.ExecWorkers}
 	}
 	m2 := o.Machine
 	if m2 == nil {

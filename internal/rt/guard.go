@@ -102,6 +102,28 @@ func (n *Numeric) Note(class string, nan bool) {
 	n.Inf[class]++
 }
 
+// Merge folds another plane's tallies into n (both sides nil-safe).
+// Per-class counts add, so merging workers' private planes in any order
+// yields totals identical to a serial scan — the parallel executor's
+// deterministic record-mode merge.
+func (n *Numeric) Merge(m *Numeric) {
+	if n == nil || m == nil {
+		return
+	}
+	for cl, c := range m.NaN {
+		if n.NaN == nil {
+			n.NaN = map[string]int64{}
+		}
+		n.NaN[cl] += c
+	}
+	for cl, c := range m.Inf {
+		if n.Inf == nil {
+			n.Inf = map[string]int64{}
+		}
+		n.Inf[cl] += c
+	}
+}
+
 // Total is the number of exceptional lanes recorded (nil-safe).
 func (n *Numeric) Total() int64 {
 	if n == nil {
