@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke determinism concurrency soak-short soak bench bench-exec bench-batch clean
+.PHONY: check vet build test race smoke fuzz-smoke profile-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
 # tests (driver cache, batch executor, cancellation), machine-readable
 # benchmark smoke runs (serial and batch mode), a short fuzz of the
-# front end, the fault-plane determinism tests, and a short
-# fault-invariance soak through the differential oracle.
-check: vet build race concurrency smoke fuzz-smoke determinism soak-short
+# front end, the fault-plane determinism tests, a short fault-invariance
+# soak through the differential oracle, and an end-to-end smoke of the
+# source-line cycle profiler's three artifact formats.
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,10 +26,13 @@ race:
 	$(GO) test -race -short ./...
 
 # Race-enabled concurrency gate: shared-artifact determinism, compile
-# cache singleflight, batch serial/parallel identity, cancellation, and
-# the sharded-executor determinism test (bit-exact stores, cycles, and
+# cache singleflight, batch serial/parallel identity, cancellation, the
+# sharded-executor determinism test (bit-exact stores, cycles, and
 # fault/numeric tallies across -exec-workers values, with fault
-# injection and the numeric record plane active).
+# injection and the numeric record plane active), and the pool
+# telemetry test (workers recording into one shared collector while the
+# modeled counters and per-line cycle attribution stay bit-identical to
+# a serial run).
 concurrency:
 	$(GO) test -race -run 'Concurrent|ExecParallelDeterminism' ./...
 
@@ -49,6 +53,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz '^FuzzOracle$$' -fuzztime 5s .
+
+# End-to-end smoke of the source-line cycle profiler: one run emits the
+# annotated listing, the pprof protobuf, and the folded stacks; the
+# pprof file must parse with the stock toolchain and the folded file
+# must be non-empty.
+profile-smoke:
+	$(GO) run ./cmd/f90yrun -profile -profile-pprof .profile-smoke.pb.gz \
+		-profile-folded .profile-smoke.folded examples/swe.f90 > /dev/null
+	$(GO) tool pprof -top .profile-smoke.pb.gz > /dev/null
+	test -s .profile-smoke.folded
+	rm -f .profile-smoke.pb.gz .profile-smoke.folded
 
 # Fault-plane invariants: zero overhead with no plan attached, and
 # bit-identical replay of the same seed.
@@ -80,5 +95,15 @@ bench-exec:
 bench-batch:
 	$(GO) run ./cmd/swebench -bench-batch -o BENCH_batch.json
 
+# Refresh the committed baseline record: the f90y-bench/v1 JSON for the
+# paper-scale SWE run (with its profile summary), then the
+# sharded-executor scaling benchmark for the wall-clock numbers quoted
+# in EXPERIMENTS.md.
+bench-record:
+	$(GO) run ./cmd/swebench -json -n 512 -steps 2 -o BENCH_baseline.json
+	$(GO) test -bench 'SWE_ExecWorkers' -benchmem -run '^$$' .
+
+# clean removes generated benchmark outputs but keeps the committed
+# BENCH_baseline.json (refresh it with bench-record).
 clean:
-	rm -f BENCH_*.json .bench-smoke.json
+	rm -f BENCH_swe_*.json BENCH_batch.json .bench-smoke.json .profile-smoke.pb.gz .profile-smoke.folded

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	f90yrun [-target cm2|cm5] [-pes 2048] [-verify] [-metrics] [-trace out.json]
+//	        [-profile] [-profile-pprof swe.pb.gz] [-profile-folded swe.folded]
 //	        [-timeout 30s] [-max-cycles N] [-numeric off|trap|record]
 //	        [-exec-workers N] [-faults spec] [-checkpoint-every N]
 //	        [-checkpoint ckpt.json] [-resume ckpt.json] file.f90
@@ -17,6 +18,15 @@
 // exits nonzero. -metrics prints the phase/counter telemetry report
 // (compile spans plus execution cycle attribution) to stderr; -trace
 // writes the same telemetry as Chrome trace_event JSON.
+//
+// -profile prints the source-line cycle profile to stdout: the compiler
+// threads source positions from the Fortran tokens through NIR and PEAC,
+// and the machine model attributes every modeled PE cycle back to the
+// line that generated it (the attribution sums exactly to the report's
+// pe cycle total and is bit-identical for every -exec-workers value).
+// -profile-pprof writes the same attribution as a gzipped pprof profile
+// (`go tool pprof -top file.pb.gz`); -profile-folded writes folded
+// stacks (routine;file:line;class cycles) for flamegraph tooling.
 //
 // -timeout bounds the whole compile+run in wall-clock time: past the
 // deadline the run stops at the next host-op boundary with an error
@@ -78,6 +88,9 @@ var (
 	flagCkEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N host boundaries (0 = off)")
 	flagCkPath  = flag.String("checkpoint", "", "checkpoint file path (default <file>.ckpt.json)")
 	flagResume  = flag.String("resume", "", "resume from a checkpoint file")
+	flagProf    = flag.Bool("profile", false, "print the source-annotated cycle profile (hot lines + listing) to stdout")
+	flagProfPB  = flag.String("profile-pprof", "", "write a pprof protobuf profile (open with go tool pprof)")
+	flagProfFG  = flag.String("profile-folded", "", "write folded stacks for flamegraph tooling")
 )
 
 // fail reports a run error; an injected fatal fault or a budget kill
@@ -180,6 +193,11 @@ func main() {
 
 	for _, line := range common.Output {
 		fmt.Println(line)
+	}
+	prof := driver.ProfileOptions{Text: *flagProf, Pprof: *flagProfPB, Folded: *flagProfFG}
+	if err := prof.Emit(res.Profile(), os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "f90yrun:", err)
+		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, report)
 	tel.Report(os.Stderr)

@@ -7,6 +7,7 @@
 //	swebench [-n 1024] [-steps 4] [-experiment e1|e2|e3|e4|e5|e6|e7|all]
 //	         [-parallel N] [-exec-workers N]
 //	swebench -json [-parallel N] [-o BENCH_swe.json] [-n 1024] [-steps 4]
+//	         [-profile] [-profile-pprof swe.pb.gz] [-profile-folded swe.folded]
 //	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
 //	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
 //
@@ -21,6 +22,11 @@
 // written to -o (default BENCH_swe_n<N>_s<steps>.json); the output path
 // is printed to stdout. -parallel runs the three measured systems
 // (Fortran-90-Y, CM Fortran model, *Lisp model) concurrently.
+//
+// The record always carries a "profile" summary (total attributed
+// cycles + five hottest source lines); the -profile* flags additionally
+// emit the full artifacts from the same run — the annotated source
+// listing to stdout, a pprof protobuf, and folded flamegraph stacks.
 //
 // With -bench-batch the whole suite is timed twice — serial, then on
 // the parallel pool — and a "f90y-batch/v1" record comparing the two
@@ -73,6 +79,9 @@ var (
 	flagSoak       = flag.Int("soak", 0, "chaos-soak: verify all kernels differentially, then sweep N seeds x fault plans x backends")
 	flagReproDir   = flag.String("repro-dir", "soak-repros", "directory for fault-invariance reproducer specs (-soak)")
 	flagExecW      = flag.Int("exec-workers", 1, "shard each routine dispatch across N chunk workers (1 = serial, <0 = GOMAXPROCS); results are bit-exact")
+	flagProf       = flag.Bool("profile", false, "with -json: print the SWE run's source-annotated cycle profile to stdout")
+	flagProfPB     = flag.String("profile-pprof", "", "with -json: write the SWE run's pprof protobuf profile")
+	flagProfFG     = flag.String("profile-folded", "", "with -json: write the SWE run's folded stacks for flamegraph tooling")
 )
 
 // execWorkers normalizes the -exec-workers flag: explicit serial (1)
@@ -108,6 +117,9 @@ var experiments = []experiment{
 func main() {
 	flag.Parse()
 	workers := *flagParallel
+	if (*flagProf || *flagProfPB != "" || *flagProfFG != "") && !*flagJSON {
+		die(fmt.Errorf("-profile, -profile-pprof, and -profile-folded require -json (they profile the measured SWE run)"))
+	}
 	if *flagSoak > 0 {
 		failures, err := runSoak(os.Stdout, *flagSoak, workers, *flagReproDir, *flagJSON, *flagOut)
 		if err != nil {

@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"f90y/internal/obs"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
 	"f90y/internal/shape"
@@ -60,6 +62,13 @@ type ExecOpts struct {
 	// computed by the identical instruction sequence regardless of
 	// which worker ran its chunk.
 	Workers int
+	// Rec receives pool runtime telemetry from the parallel path:
+	// per-worker busy spans (one trace track per worker), chunk spans,
+	// chunk-claim wait and chunk duration histograms, and utilization
+	// counters, all under the "execpool/" namespace. Wall-clock only —
+	// it never feeds modeled cycles, so attaching a recorder cannot
+	// perturb results. Nil (or a serial run) records nothing.
+	Rec obs.Recorder
 }
 
 // ExecRoutine executes a PEAC routine functionally over the whole shape.
@@ -199,14 +208,42 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 				wnum = &rt.Numeric{Mode: o.Num.Mode}
 				nums[wk] = wnum
 			}
+			// Pool telemetry: each worker records on its own track, so
+			// the Chrome trace shows one lane per worker with the busy
+			// span and the chunk spans inside it. All of it is gated on
+			// o.Rec so the plain hot path runs unchanged.
+			track := wk + 1
+			if o.Rec != nil {
+				obs.Add(o.Rec, "execpool/workers", 1)
+				busy := obs.StartTrack(o.Rec, "worker/"+r.Name, track)
+				defer busy.End()
+			}
 			for cctx.Err() == nil {
+				var claim time.Time
+				if o.Rec != nil {
+					claim = time.Now()
+				}
 				idx := int(next.Add(1)) - 1
 				if idx >= nchunks {
 					return
 				}
 				start := idx * chunkSize
 				w := min(chunkSize, n-start)
-				if err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, wnum, o.Subgrid, o.PEs); err != nil {
+				var sp obs.Span
+				var t0 time.Time
+				if o.Rec != nil {
+					t0 = time.Now()
+					obs.Observe(o.Rec, "execpool/chunk-claim-wait-ns", float64(t0.Sub(claim).Nanoseconds()))
+					sp = obs.StartTrack(o.Rec, "chunk/"+r.Name, track)
+				}
+				err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, wnum, o.Subgrid, o.PEs)
+				if o.Rec != nil {
+					sp.End()
+					obs.Observe(o.Rec, "execpool/chunk-ns", float64(time.Since(t0).Nanoseconds()))
+					obs.Add(o.Rec, "execpool/chunks", 1)
+					obs.Add(o.Rec, "execpool/elements", float64(w))
+				}
+				if err != nil {
 					errs[idx] = err
 					failed.Store(true)
 					cancel()

@@ -23,6 +23,7 @@ import (
 	"f90y/internal/peac"
 	"f90y/internal/rt"
 	"f90y/internal/shape"
+	"f90y/internal/source"
 )
 
 // DegradeClass is the PE cycle class charged for graceful degradation:
@@ -118,6 +119,13 @@ type Result struct {
 	PEClassCycles map[string]float64
 	// PERoutineCycles attributes PECycles per PEAC routine.
 	PERoutineCycles map[string]float64
+	// PELineCycles attributes PECycles per (routine, source line, class)
+	// cell, keyed by the provenance threaded from the Fortran front end
+	// through PEAC. Its values sum exactly to PECycles, and the per-class
+	// marginals equal PEClassCycles. The attribution is computed from the
+	// analytic model before dispatch, so it is bit-identical for every
+	// ExecWorkers setting.
+	PELineCycles map[rt.LineRef]float64
 	// CommClassCycles attributes CommCycles per runtime network
 	// (rt.CommGrid, rt.CommRouter, rt.CommReduce).
 	CommClassCycles map[string]float64
@@ -195,6 +203,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 		ClockHz:         m.ClockHz,
 		PEClassCycles:   map[string]float64{},
 		PERoutineCycles: map[string]float64{},
+		PELineCycles:    map[rt.LineRef]float64{},
 	}
 
 	var inj *faults.Injector
@@ -261,6 +270,7 @@ func snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *Result, next i
 			PECycles:        res.PECycles,
 			PEClassCycles:   res.PEClassCycles,
 			PERoutineCycles: res.PERoutineCycles,
+			PELineCycles:    res.PELineCycles,
 		})
 }
 
@@ -277,6 +287,7 @@ func resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res *Result, hctl
 	res.NodeCalls = tot.NodeCalls
 	res.PEClassCycles = tot.PEClassCycles
 	res.PERoutineCycles = tot.PERoutineCycles
+	res.PELineCycles = tot.PELineCycles
 	hctl.SetResume(ck)
 	return nil
 }
@@ -339,11 +350,16 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 				res.PEClassCycles[peac.CycleClass(cl).String()] += float64(n * itersPerPE)
 			}
 		}
+		for cell, n := range m.PECost.BodyCyclesByLine(r.Body, r.Pos) {
+			if n != 0 {
+				res.PELineCycles[lineRef(r, cell.Pos, cell.Class.String())] += float64(n * itersPerPE)
+			}
+		}
 	}
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
 	res.NodeCalls++
 	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
-	return ExecRoutineOpts(ctx, r, over, store, ExecOpts{Num: num, Subgrid: sub, PEs: m.PEs, Workers: workers})
+	return ExecRoutineOpts(ctx, r, over, store, ExecOpts{Num: num, Subgrid: sub, PEs: m.PEs, Workers: workers, Rec: rec})
 }
 
 // injectDispatch applies the fault plane to one node dispatch. A PE
@@ -364,12 +380,20 @@ func (m *Machine) injectDispatch(r *peac.Routine, sub int, res *Result, inj *fau
 		remap := m.CommCost.RouterStartup + float64(sub)*m.CommCost.RouterPerElem
 		res.PECycles += remap
 		res.PEClassCycles[DegradeClass] += remap
+		res.PELineCycles[lineRef(r, r.Pos, DegradeClass)] += remap
 		inj.NoteDegraded(pe)
 	}
 	if inj.DeadCount() > 0 {
 		extra := float64(m.PECost.RoutineCycles(r, sub))
 		res.PECycles += extra
 		res.PEClassCycles[DegradeClass] += extra
+		res.PELineCycles[lineRef(r, r.Pos, DegradeClass)] += extra
 	}
 	return nil
+}
+
+// lineRef builds the attribution key for cycles modeled in routine r at
+// source position pos under a cycle class name.
+func lineRef(r *peac.Routine, pos source.Pos, class string) rt.LineRef {
+	return rt.LineRef{Routine: r.Name, File: pos.File, Line: pos.Line, Class: class}
 }

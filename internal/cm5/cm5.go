@@ -123,6 +123,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 	res.ClockHz = m.ClockHz
 	res.PEClassCycles = map[string]float64{}
 	res.PERoutineCycles = map[string]float64{}
+	res.PELineCycles = map[rt.LineRef]float64{}
 
 	var inj *faults.Injector
 	var num *rt.Numeric
@@ -154,7 +155,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(ctx, r, over, store, res, inj, num, workers)
+			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -197,6 +198,7 @@ func (m *Machine) snapshot(store *rt.Store, vm *hostvm.VM, comm *rt.Comm, res *R
 			PECycles:        res.VUCycles + res.SPARCCycles + res.DegradeCycles,
 			PEClassCycles:   res.PEClassCycles,
 			PERoutineCycles: res.PERoutineCycles,
+			PELineCycles:    res.PELineCycles,
 		})
 	ck.Extra = map[string]float64{
 		"vu-cycles":      res.VUCycles,
@@ -219,6 +221,7 @@ func (m *Machine) resume(ck *rt.Checkpoint, store *rt.Store, comm *rt.Comm, res 
 	res.DegradeCycles = ck.Extra["degrade-cycles"]
 	res.PEClassCycles = tot.PEClassCycles
 	res.PERoutineCycles = tot.PERoutineCycles
+	res.PELineCycles = tot.PELineCycles
 	hctl.SetResume(ck)
 	return nil
 }
@@ -257,7 +260,7 @@ func (res *Result) emitObs(rec obs.Recorder) {
 // already broadcast the block (host side); here each node's SPARC unpacks
 // arguments and drives its four vector units over a quarter of the node
 // subgrid each.
-func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, inj *faults.Injector, num *rt.Numeric, workers int) error {
+func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int) error {
 	if over == nil {
 		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
@@ -268,6 +271,7 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 	sparc := m.NodeSetup + float64(len(r.Params))*2
 	vu := float64(m.VUCost.RoutineCycles(r, perVU))
 
+	degradeRef := rt.LineRef{Routine: r.Name, File: r.Pos.File, Line: r.Pos.Line, Class: cm2.DegradeClass}
 	if inj != nil {
 		// Dead processing nodes: remap the node subgrid to a buddy
 		// through the data network, then every dispatch pays one extra
@@ -278,17 +282,21 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 				return fmt.Errorf("cm5: dispatch of %s: %w: processing node %d: %w",
 					r.Name, cm2.ErrDispatch, node, faults.ErrPEDead)
 			}
-			res.DegradeCycles += m.CommCost.RouterStartup + float64(nodeSub)*m.CommCost.RouterPerElem
+			remap := m.CommCost.RouterStartup + float64(nodeSub)*m.CommCost.RouterPerElem
+			res.DegradeCycles += remap
+			res.PELineCycles[degradeRef] += remap
 			inj.NoteDegraded(node)
 		}
 		if inj.DeadCount() > 0 {
 			res.DegradeCycles += sparc + vu
+			res.PELineCycles[degradeRef] += sparc + vu
 		}
 	}
 
 	res.SPARCCycles += sparc
 	res.VUCycles += vu
 	res.PERoutineCycles[r.Name] += sparc + vu
+	res.PELineCycles[rt.LineRef{Routine: r.Name, File: r.Pos.File, Line: r.Pos.Line, Class: "sparc-issue"}] += sparc
 	itersPerVU := (perVU + peac.VectorWidth - 1) / peac.VectorWidth
 	if itersPerVU > 0 {
 		byClass := m.VUCost.BodyCyclesByClass(r.Body)
@@ -297,10 +305,15 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 				res.PEClassCycles[peac.CycleClass(cl).String()] += float64(n * itersPerVU)
 			}
 		}
+		for cell, n := range m.VUCost.BodyCyclesByLine(r.Body, r.Pos) {
+			if n != 0 {
+				res.PELineCycles[rt.LineRef{Routine: r.Name, File: cell.Pos.File, Line: cell.Pos.Line, Class: cell.Class.String()}] += float64(n * itersPerVU)
+			}
+		}
 	}
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerVU) * int64(layout.PEsUsed()*m.VUsPerNode)
 	res.NodeCalls++
 	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
 	return cm2.ExecRoutineOpts(ctx, r, over, store,
-		cm2.ExecOpts{Num: num, Subgrid: nodeSub, PEs: m.Nodes, Workers: workers})
+		cm2.ExecOpts{Num: num, Subgrid: nodeSub, PEs: m.Nodes, Workers: workers, Rec: rec})
 }

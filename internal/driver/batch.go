@@ -9,6 +9,7 @@ import (
 	"f90y/internal/cm2"
 	"f90y/internal/cm5"
 	"f90y/internal/obs"
+	"f90y/internal/obs/profile"
 )
 
 // Job is one compile+run request. Config.Obs is the job's private
@@ -51,6 +52,17 @@ func (r *RunResult) Result() *cm2.Result {
 		return &r.CM5.Result
 	}
 	return r.CM2
+}
+
+// Profile builds the job's source-line cycle profile from the result's
+// attribution, with the job's own source attached for the annotated
+// view. Nil when the job failed or its target recorded no attribution.
+func (r *RunResult) Profile() *profile.Profile {
+	res := r.Result()
+	if res == nil || len(res.PELineCycles) == 0 {
+		return nil
+	}
+	return profile.New(res.PELineCycles, map[string]string{r.Job.File: r.Job.Source})
 }
 
 // Run compiles (through the cache) and executes one job under ctx.

@@ -8,6 +8,7 @@ import (
 	"f90y/internal/cm2"
 	"f90y/internal/faults"
 	"f90y/internal/obs"
+	"f90y/internal/obs/profile"
 	"f90y/internal/rt"
 )
 
@@ -79,6 +80,65 @@ func (o ControlOptions) Build(file string, rec obs.Recorder) (*cm2.Control, erro
 		ctl.Resume = ck
 	}
 	return ctl, nil
+}
+
+// ProfileOptions bundles the -profile* CLI flags shared by f90yrun and
+// swebench: the text hot-line report and the two file artifacts built
+// from the same source-line cycle attribution.
+type ProfileOptions struct {
+	Text   bool   // -profile: annotated source listing
+	Pprof  string // -profile-pprof: gzipped pprof protobuf path ("" = off)
+	Folded string // -profile-folded: folded-stacks path ("" = off)
+}
+
+// Any reports whether any profile output is requested.
+func (o ProfileOptions) Any() bool {
+	return o.Text || o.Pprof != "" || o.Folded != ""
+}
+
+// Emit renders the requested artifacts from p: the annotated listing to
+// w, the pprof and folded files to their paths (each noted on logw). A
+// nil p with outputs requested is an error — the run produced no
+// attribution to profile.
+func (o ProfileOptions) Emit(p *profile.Profile, w, logw io.Writer) error {
+	if !o.Any() {
+		return nil
+	}
+	if p == nil {
+		return fmt.Errorf("driver: profile requested but the run produced no cycle attribution")
+	}
+	if o.Text {
+		if err := p.WriteAnnotated(w); err != nil {
+			return err
+		}
+	}
+	write := func(path, kind string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "%s profile written to %s\n", kind, path)
+		return nil
+	}
+	if o.Pprof != "" {
+		if err := write(o.Pprof, "pprof", p.WritePprof); err != nil {
+			return err
+		}
+	}
+	if o.Folded != "" {
+		if err := write(o.Folded, "folded-stacks", p.WriteFolded); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Telemetry is the -metrics/-trace wiring shared by the commands: one

@@ -216,9 +216,9 @@ func lowerMerge(lw *lowerer, e *ast.Index) tv {
 		tgt = nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
 	}
 	lw.pre = append(lw.pre, nir.Move{Over: sh, Moves: []nir.GuardedMove{
-		{Mask: m.v, Src: convert(t.v, t.kind, k), Tgt: tgt},
-		{Mask: nir.Unary{Op: nir.NotU, X: m.v}, Src: convert(f.v, f.kind, k), Tgt: tgt},
-	}})
+		{Mask: m.v, Src: convert(t.v, t.kind, k), Tgt: tgt, Pos: e.Pos},
+		{Mask: nir.Unary{Op: nir.NotU, X: m.v}, Src: convert(f.v, f.kind, k), Tgt: tgt, Pos: e.Pos},
+	}, Pos: e.Pos})
 	return tv{v: tgt, kind: k, shape: sh}
 }
 
@@ -234,8 +234,8 @@ func (lw *lowerer) materializeField(x tv, e ast.Expr) tv {
 	tmp := lw.freshTemp(x.kind, x.shape, e.Position())
 	tgt := nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
 	lw.pre = append(lw.pre, nir.Move{Over: x.shape, Moves: []nir.GuardedMove{
-		{Mask: nir.True, Src: x.v, Tgt: tgt},
-	}})
+		{Mask: nir.True, Src: x.v, Tgt: tgt, Pos: e.Position()},
+	}, Pos: e.Position()})
 	return tv{v: tgt, kind: x.kind, shape: x.shape}
 }
 
@@ -250,8 +250,8 @@ func (lw *lowerer) commCall(name string, args []nir.Value, kind nir.ScalarKind, 
 		tgt = nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
 	}
 	lw.pre = append(lw.pre, nir.Move{Over: sh, Moves: []nir.GuardedMove{
-		{Mask: nir.True, Src: nir.FcnCall{Name: name, Args: args}, Tgt: tgt},
-	}})
+		{Mask: nir.True, Src: nir.FcnCall{Name: name, Args: args}, Tgt: tgt, Pos: e.Position()},
+	}, Pos: e.Position()})
 	return tv{v: tgt, kind: kind, shape: sh}
 }
 

@@ -271,11 +271,11 @@ func (lw *lowerer) buildAssign(sym *Symbol, _ nir.Field, rhs tv, mask nir.Value,
 		return nir.Skip{}
 	}
 	src := lw.convertChecked(rhs, sym.Kind, pos)
-	g := nir.GuardedMove{Mask: nir.True, Src: src, Tgt: tgt}
+	g := nir.GuardedMove{Mask: nir.True, Src: src, Tgt: tgt, Pos: pos}
 	if mask != nil {
 		g.Mask = mask
 	}
-	return nir.Move{Moves: []nir.GuardedMove{g}}
+	return nir.Move{Moves: []nir.GuardedMove{g}, Pos: pos}
 }
 
 // buildAssignTo assembles the MOVE for an assignment to an array target
@@ -291,11 +291,11 @@ func (lw *lowerer) buildAssignTo(tgt nir.AVar, tgtShape shape.Shape, tgtKind nir
 		lw.rep.Errorf("shapecheck", pos, "shapes disagree in assignment: %s = %s", tgtShape, rhs.shape)
 	}
 	src := lw.convertChecked(rhs, tgtKind, pos)
-	g := nir.GuardedMove{Mask: nir.True, Src: src, Tgt: tgt}
+	g := nir.GuardedMove{Mask: nir.True, Src: src, Tgt: tgt, Pos: pos}
 	if mask != nil {
 		g.Mask = mask
 	}
-	return nir.Move{Over: tgtShape, Moves: []nir.GuardedMove{g}}
+	return nir.Move{Over: tgtShape, Moves: []nir.GuardedMove{g}, Pos: pos}
 }
 
 // convertChecked inserts a kind conversion for the assignment, rejecting
@@ -361,7 +361,7 @@ func (lw *lowerer) lowerStaticDo(s *ast.DoLoop, from, to, step int) nir.Imp {
 		// Zero-trip loop: only the index assignment is observable.
 		if sym, ok := lw.syms.Lookup(s.Var); ok && sym.Shape == nil && sym.Kind == nir.Integer32 && !sym.Param {
 			return nir.Move{Moves: []nir.GuardedMove{{
-				Mask: nir.True, Src: nir.IntConst(int64(from)), Tgt: nir.SVar{Name: s.Var}}}}
+				Mask: nir.True, Src: nir.IntConst(int64(from)), Tgt: nir.SVar{Name: s.Var}, Pos: s.Pos}}, Pos: s.Pos}
 		}
 		return nir.Skip{}
 	}
@@ -399,7 +399,7 @@ func (lw *lowerer) lowerStaticDo(s *ast.DoLoop, from, to, step int) nir.Imp {
 	if sym, ok := lw.syms.Lookup(s.Var); ok && sym.Shape == nil && sym.Kind == nir.Integer32 && !sym.Param {
 		final := from + trips*step
 		loop = nir.Seq(loop, nir.Move{Moves: []nir.GuardedMove{{
-			Mask: nir.True, Src: nir.IntConst(int64(final)), Tgt: nir.SVar{Name: s.Var}}}})
+			Mask: nir.True, Src: nir.IntConst(int64(final)), Tgt: nir.SVar{Name: s.Var}, Pos: s.Pos}}, Pos: s.Pos})
 	}
 	return loop
 }
@@ -425,7 +425,7 @@ func (lw *lowerer) lowerDynamicDo(s *ast.DoLoop) nir.Imp {
 	pre := lw.takePre()
 	iv := nir.SVar{Name: s.Var}
 
-	initMove := nir.Move{Moves: []nir.GuardedMove{{Mask: nir.True, Src: convert(from.v, from.kind, nir.Integer32), Tgt: iv}}}
+	initMove := nir.Move{Moves: []nir.GuardedMove{{Mask: nir.True, Src: convert(from.v, from.kind, nir.Integer32), Tgt: iv, Pos: s.Pos}}, Pos: s.Pos}
 	condOp := nir.LessEq
 	if stepc < 0 {
 		condOp = nir.GreaterEq
@@ -433,7 +433,7 @@ func (lw *lowerer) lowerDynamicDo(s *ast.DoLoop) nir.Imp {
 	cond := nir.Binary{Op: condOp, L: iv, R: convert(to.v, to.kind, nir.Integer32)}
 	body := lw.lowerStmts(s.Body)
 	inc := nir.Move{Moves: []nir.GuardedMove{{Mask: nir.True,
-		Src: nir.Binary{Op: nir.Plus, L: iv, R: nir.IntConst(int64(stepc))}, Tgt: iv}}}
+		Src: nir.Binary{Op: nir.Plus, L: iv, R: nir.IntConst(int64(stepc))}, Tgt: iv, Pos: s.Pos}}, Pos: s.Pos}
 	return nir.Seq(nir.Seq(pre...), initMove, nir.While{Cond: cond, Body: nir.Seq(body, inc)})
 }
 
@@ -474,7 +474,7 @@ func (lw *lowerer) lowerWhere(s *ast.Where) nir.Imp {
 		tmp := lw.freshTemp(nir.Logical32, mask.shape, s.Pos)
 		tgt := nir.AVar{Name: tmp.Name, Field: nir.Everywhere{}}
 		head = append(head, nir.Move{Over: mask.shape, Moves: []nir.GuardedMove{
-			{Mask: nir.True, Src: mask.v, Tgt: tgt}}})
+			{Mask: nir.True, Src: mask.v, Tgt: tgt, Pos: s.Pos}}, Pos: s.Pos})
 		mask.v = tgt
 	}
 
@@ -620,7 +620,7 @@ func (lw *lowerer) lowerForall(s *ast.Forall) nir.Imp {
 	for k, info := range infos {
 		idVals[k] = info.val
 	}
-	mv := nir.Move{Over: S, Moves: []nir.GuardedMove{{Mask: guard, Src: src, Tgt: av}}}
+	mv := nir.Move{Over: S, Moves: []nir.GuardedMove{{Mask: guard, Src: src, Tgt: av, Pos: s.Assign.Pos}}, Pos: s.Assign.Pos}
 	return lw.collapseIdentity(mv, S, idVals)
 }
 
@@ -670,7 +670,7 @@ func (lw *lowerer) collapseIdentity(mv nir.Move, S shape.Shape, idVals []nir.Val
 		}
 		out[i] = g
 	}
-	return nir.Move{Over: mv.Over, Moves: out}
+	return nir.Move{Over: mv.Over, Moves: out, Pos: mv.Pos}
 }
 
 func (lw *lowerer) lowerPrint(s *ast.Print) nir.Imp {

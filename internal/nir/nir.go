@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"f90y/internal/shape"
+	"f90y/internal/source"
 )
 
 // ---- Type domain (T) ----
@@ -360,20 +361,27 @@ type Concurrently struct {
 	List []Imp
 }
 
-// GuardedMove is one (mask, (src, tgt)) element of a MOVE.
+// GuardedMove is one (mask, (src, tgt)) element of a MOVE. Pos is the
+// source statement the guarded move descends from; it survives blocking
+// and fusion (which concatenate move lists) so downstream code
+// generators can attribute every emitted instruction to a Fortran line.
 type GuardedMove struct {
 	Mask Value // nir.True for unconditional
 	Src  Value
 	Tgt  Value // SVar or AVar
+	Pos  source.Pos
 }
 
 // Move is MOVE[(mask,(src,tgt)),...]: multiple data movements under masks.
 // Over records the common shape the move ranges over — nil for purely
 // scalar moves — an annotation the optimizer and partitioner rely on;
 // semantically MOVE over shape s equals DO(s, elementwise MOVE) (§3.2).
+// Pos is the originating statement of the first guarded move (a fused
+// block keeps the position of the statement that opened it).
 type Move struct {
 	Over  shape.Shape
 	Moves []GuardedMove
+	Pos   source.Pos
 }
 
 // IfThenElse is the classical conditional.

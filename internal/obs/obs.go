@@ -82,6 +82,29 @@ func Event(r Recorder, name string, attrs map[string]float64) {
 	}
 }
 
+// TrackSpanRecorder is an optional Recorder extension for spans that
+// belong to a specific track — a logical thread lane in the exported
+// Chrome trace. The sharded executor assigns one track per pool worker
+// so the trace shows the pool's shape. Recorders that do not implement
+// it record the span on the default track.
+type TrackSpanRecorder interface {
+	// StartSpanTrack opens a named span on the given track (0 is the
+	// default track; workers use 1..N).
+	StartSpanTrack(name string, track int) Span
+}
+
+// StartTrack opens a span on a specific track; recorders without track
+// support fall back to StartSpan, and a nil r yields a no-op Span.
+func StartTrack(r Recorder, name string, track int) Span {
+	if tr, ok := r.(TrackSpanRecorder); ok {
+		return tr.StartSpanTrack(name, track)
+	}
+	if r == nil {
+		return Span{}
+	}
+	return r.StartSpan(name)
+}
+
 // Span is one open interval of work. The zero Span (and any Span from a
 // Nop recorder or nil Recorder) is inert: End does nothing.
 type Span struct {
@@ -121,11 +144,13 @@ type EventRec struct {
 
 // SpanRec is one completed (or still-open) span: times are monotonic
 // offsets from the collector's epoch. End is zero while the span is
-// open.
+// open. Track is the logical thread lane (0 = default; executor pool
+// workers record on 1..N).
 type SpanRec struct {
 	Name  string
 	Start time.Duration
 	End   time.Duration
+	Track int
 }
 
 // Dur is the span length (zero while open).
@@ -182,6 +207,11 @@ type Collector struct {
 // counts the overflow.
 const maxEvents = 65536
 
+// maxSpans bounds the collector's span log: per-chunk executor spans on
+// a long run could otherwise grow without limit. Past the bound,
+// StartSpan returns an inert Span.
+const maxSpans = 1 << 18
+
 // NewCollector returns an empty collector whose epoch is now.
 func NewCollector() *Collector {
 	c := &Collector{
@@ -195,9 +225,17 @@ func NewCollector() *Collector {
 
 // StartSpan implements Recorder.
 func (c *Collector) StartSpan(name string) Span {
+	return c.StartSpanTrack(name, 0)
+}
+
+// StartSpanTrack implements TrackSpanRecorder.
+func (c *Collector) StartSpanTrack(name string, track int) Span {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.spans = append(c.spans, SpanRec{Name: name, Start: c.now()})
+	if len(c.spans) >= maxSpans {
+		return Span{}
+	}
+	c.spans = append(c.spans, SpanRec{Name: name, Start: c.now(), Track: track})
 	return Span{c: c, idx: len(c.spans) - 1}
 }
 

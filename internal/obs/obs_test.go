@@ -182,7 +182,8 @@ func TestWriteTraceIsChromeLoadable(t *testing.T) {
 			ms++
 		}
 	}
-	if xs != 2 || cs != 1 || ms != 1 {
-		t.Errorf("event counts X/C/M = %d/%d/%d, want 2/1/1", xs, cs, ms)
+	// Metadata: process_name plus a thread_name for the default track.
+	if xs != 2 || cs != 1 || ms != 2 {
+		t.Errorf("event counts X/C/M = %d/%d/%d, want 2/1/2", xs, cs, ms)
 	}
 }

@@ -1,0 +1,217 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"math"
+)
+
+// This file hand-encodes the pprof profile.proto wire format so the
+// repo stays stdlib-only: no generated code, no protobuf dependency.
+// Only the subset `go tool pprof` needs is emitted. Field numbers are
+// from github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          3 mapping (Mapping), 4 location (Location),
+//	          5 function (Function), 6 string_table,
+//	          9 time_nanos, 11 period_type (ValueType), 12 period
+//	ValueType: 1 type (strtab index), 2 unit (strtab index)
+//	Sample:    1 location_id (repeated), 2 value (repeated), 3 label
+//	Label:     1 key (strtab), 2 str (strtab)
+//	Location:  1 id, 2 mapping_id, 3 address, 4 line (Line)
+//	Line:      1 function_id, 2 line
+//	Function:  1 id, 2 name (strtab), 3 system_name (strtab),
+//	           4 filename (strtab), 5 start_line
+//	Mapping:   1 id, 5 filename (strtab)
+
+// pbuf is a minimal protobuf writer: varints and length-delimited
+// fields are all the profile format needs.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(x uint64) {
+	for x >= 0x80 {
+		p.b = append(p.b, byte(x)|0x80)
+		x >>= 7
+	}
+	p.b = append(p.b, byte(x))
+}
+
+// tag writes a field key: (field number << 3) | wire type.
+func (p *pbuf) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField writes an int64 field with wire type 0.
+func (p *pbuf) varintField(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.uvarint(uint64(v))
+}
+
+// bytesField writes a length-delimited field (wire type 2).
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// strtab interns strings for the profile's string table. Index 0 is
+// required to be the empty string.
+type strtab struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStrtab() *strtab {
+	return &strtab{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *strtab) of(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+func valueType(typ, unit int64) []byte {
+	var p pbuf
+	p.varintField(1, typ)
+	p.varintField(2, unit)
+	return p.b
+}
+
+// WritePprof emits the attribution as a gzipped pprof protobuf profile
+// with one sample per (routine, file, line, class) cell: sample value is
+// the modeled cycle count, location is the Fortran file:line inside a
+// function named after the PEAC routine, and the cycle class rides along
+// as a string label ("class") so `go tool pprof -tagfocus` can slice by
+// it. time_nanos is fixed at zero so equal inputs produce byte-identical
+// profiles.
+func (p *Profile) WritePprof(w io.Writer) error {
+	tab := newStrtab()
+	var out pbuf
+
+	cycles := tab.of("cycles")
+	count := tab.of("count")
+	classKey := tab.of("class")
+
+	out.bytesField(1, valueType(cycles, count)) // sample_type
+
+	// Functions dedup by (routine, filename); locations by (function,
+	// line). IDs are assigned in the canonical ref order, so the encoded
+	// profile is deterministic.
+	type funcKey struct {
+		name, file string
+	}
+	type locKey struct {
+		fn   uint64
+		line int
+	}
+	funcIDs := map[funcKey]uint64{}
+	locIDs := map[locKey]uint64{}
+	var funcs []funcKey
+	var locs []locKey
+
+	refs := p.sortedRefs()
+	type sample struct {
+		loc   uint64
+		val   int64
+		class int64
+	}
+	samples := make([]sample, 0, len(refs))
+	for _, ref := range refs {
+		fk := funcKey{name: ref.Routine, file: ref.File}
+		fid, ok := funcIDs[fk]
+		if !ok {
+			fid = uint64(len(funcs) + 1)
+			funcIDs[fk] = fid
+			funcs = append(funcs, fk)
+		}
+		lk := locKey{fn: fid, line: ref.Line}
+		lid, ok := locIDs[lk]
+		if !ok {
+			lid = uint64(len(locs) + 1)
+			locIDs[lk] = lid
+			locs = append(locs, lk)
+		}
+		samples = append(samples, sample{
+			loc:   lid,
+			val:   int64(math.Round(p.Lines[ref])),
+			class: tab.of(ref.Class),
+		})
+	}
+
+	for _, s := range samples {
+		var sp pbuf
+		sp.varintField(1, int64(s.loc)) // location_id
+		sp.tag(2, 0)                    // value (cycles) — emitted even when 0
+		sp.uvarint(uint64(s.val))
+		var lb pbuf
+		lb.varintField(1, classKey)
+		lb.varintField(2, s.class)
+		sp.bytesField(3, lb.b)
+		out.bytesField(2, sp.b)
+	}
+
+	// One synthetic mapping: the "binary" is the analytic machine model.
+	// has_functions/has_filenames/has_line_numbers (fields 7-9) tell
+	// pprof the profile is fully symbolized, so it does not try to
+	// symbolize a binary that does not exist.
+	{
+		var mp pbuf
+		mp.varintField(1, 1)
+		mp.varintField(5, tab.of("f90y-model"))
+		mp.varintField(7, 1)
+		mp.varintField(8, 1)
+		mp.varintField(9, 1)
+		out.bytesField(3, mp.b)
+	}
+
+	for i, lk := range locs {
+		var lp pbuf
+		lp.varintField(1, int64(i+1)) // id
+		lp.varintField(2, 1)          // mapping_id
+		var ln pbuf
+		ln.varintField(1, int64(lk.fn))
+		ln.varintField(2, int64(lk.line))
+		lp.bytesField(4, ln.b)
+		out.bytesField(4, lp.b)
+	}
+
+	for i, fk := range funcs {
+		name := fk.name
+		if name == "" {
+			name = "<unknown>"
+		}
+		var fp pbuf
+		fp.varintField(1, int64(i+1))
+		fp.varintField(2, tab.of(name))
+		fp.varintField(3, tab.of(name))
+		fp.varintField(4, tab.of(fk.file))
+		out.bytesField(5, fp.b)
+	}
+
+	for _, s := range tab.list {
+		out.stringField(6, s)
+	}
+
+	// time_nanos (field 9) stays zero for reproducible output.
+	out.bytesField(11, valueType(cycles, count)) // period_type
+	out.varintField(12, 1)                       // period
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,219 @@
+// Package profile turns the executors' source-line cycle attribution
+// (Result.PELineCycles) into human- and tool-consumable artifacts: an
+// annotated source listing in the style of `perf annotate`, a folded
+// stack file for flamegraph tooling, and a pprof-compatible protobuf
+// profile `go tool pprof` can open (see pprof.go).
+//
+// All three renderings are deterministic — equal inputs produce
+// byte-identical outputs — and conserve cycles exactly: every artifact's
+// total equals the sum of the attribution map, which the machine models
+// guarantee equals the modeled PE cycle total.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"f90y/internal/rt"
+)
+
+// Profile is one run's source-line cycle attribution, plus the source
+// text of the files it refers to (keyed by the file name used in the
+// attribution; entries may be missing, in which case the annotated view
+// lists hot lines without source text).
+type Profile struct {
+	Lines   map[rt.LineRef]float64
+	Sources map[string]string
+}
+
+// New builds a Profile over an attribution map and the sources it
+// references. The maps are referenced, not copied.
+func New(lines map[rt.LineRef]float64, sources map[string]string) *Profile {
+	return &Profile{Lines: lines, Sources: sources}
+}
+
+// Total is the cycle sum over every attribution cell.
+func (p *Profile) Total() float64 {
+	t := 0.0
+	for _, v := range p.Lines {
+		t += v
+	}
+	return t
+}
+
+// sortedRefs returns the attribution keys in the canonical order every
+// rendering uses: by file, line, routine, then class.
+func (p *Profile) sortedRefs() []rt.LineRef {
+	refs := make([]rt.LineRef, 0, len(p.Lines))
+	for ref := range p.Lines {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Routine != b.Routine {
+			return a.Routine < b.Routine
+		}
+		return a.Class < b.Class
+	})
+	return refs
+}
+
+// lineKey aggregates attribution cells per source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// byLine folds the per-(routine, class) cells down to per-line totals.
+func (p *Profile) byLine() map[lineKey]float64 {
+	out := map[lineKey]float64{}
+	for ref, v := range p.Lines {
+		out[lineKey{file: ref.File, line: ref.Line}] += v
+	}
+	return out
+}
+
+// HotLines returns up to n source lines ordered by descending cycles
+// (ties broken by file then line, so the order is deterministic). Each
+// entry carries the aggregate cycles of the line across every routine
+// and class.
+func (p *Profile) HotLines(n int) []HotLine {
+	agg := p.byLine()
+	out := make([]HotLine, 0, len(agg))
+	for k, v := range agg {
+		out = append(out, HotLine{File: k.file, Line: k.line, Cycles: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// HotLine is one aggregated source line in the hot-line ranking.
+type HotLine struct {
+	File   string
+	Line   int
+	Cycles float64
+}
+
+// locString renders a file:line location, tolerating unknown provenance.
+func locString(file string, line int) string {
+	if line <= 0 {
+		return "<unknown>"
+	}
+	if file == "" {
+		return fmt.Sprintf("<unknown>:%d", line)
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// WriteAnnotated renders the perf-annotate-style report: a header with
+// the total and the top hot lines, then each source file's full listing
+// with a cycles/percent column beside every line. Cycles attributed to
+// positions outside any provided source (unknown files or out-of-range
+// lines) are reported in a trailing "unattributed" section so the
+// report's total always matches the attribution exactly.
+func (p *Profile) WriteAnnotated(w io.Writer) error {
+	total := p.Total()
+	pct := func(v float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * v / total
+	}
+
+	fmt.Fprintf(w, "source-line cycle profile: %.0f modeled PE cycles\n\n", total)
+
+	hot := p.HotLines(10)
+	if len(hot) > 0 {
+		fmt.Fprintf(w, "hot lines:\n")
+		fmt.Fprintf(w, "  %14s %7s  %s\n", "cycles", "%", "location")
+		for _, h := range hot {
+			fmt.Fprintf(w, "  %14.0f %6.2f%%  %s\n", h.Cycles, pct(h.Cycles), locString(h.File, h.Line))
+		}
+		fmt.Fprintln(w)
+	}
+
+	agg := p.byLine()
+
+	// Annotated listing per provided source file, in file-name order.
+	files := make([]string, 0, len(p.Sources))
+	for f := range p.Sources {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	covered := map[lineKey]bool{}
+	for _, f := range files {
+		lines := strings.Split(p.Sources[f], "\n")
+		// A trailing newline yields one empty trailing element; drop it
+		// so the listing matches the file's line count.
+		if len(lines) > 0 && lines[len(lines)-1] == "" {
+			lines = lines[:len(lines)-1]
+		}
+		fmt.Fprintf(w, "%s:\n", f)
+		fmt.Fprintf(w, "  %14s %7s  %4s  %s\n", "cycles", "%", "line", "source")
+		for i, text := range lines {
+			k := lineKey{file: f, line: i + 1}
+			v, hit := agg[k]
+			if hit {
+				covered[k] = true
+				fmt.Fprintf(w, "  %14.0f %6.2f%%  %4d  %s\n", v, pct(v), i+1, text)
+			} else {
+				fmt.Fprintf(w, "  %14s %7s  %4d  %s\n", "", "", i+1, text)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Anything the listings did not cover (unknown positions, files we
+	// have no source for, line numbers past the end of a file).
+	var rest []HotLine
+	for k, v := range agg {
+		if !covered[k] {
+			rest = append(rest, HotLine{File: k.file, Line: k.line, Cycles: v})
+		}
+	}
+	if len(rest) > 0 {
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].File != rest[j].File {
+				return rest[i].File < rest[j].File
+			}
+			return rest[i].Line < rest[j].Line
+		})
+		fmt.Fprintf(w, "unattributed:\n")
+		for _, h := range rest {
+			fmt.Fprintf(w, "  %14.0f %6.2f%%  %s\n", h.Cycles, pct(h.Cycles), locString(h.File, h.Line))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteFolded renders the attribution as folded stacks, one line per
+// cell: "routine;file:line;class cycles". The output feeds flamegraph
+// tooling (flamegraph.pl, speedscope, inferno) directly; the stack reads
+// routine → statement → cycle class, so a flame graph shows which
+// routines and lines dominate and how their cost splits across classes.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for _, ref := range p.sortedRefs() {
+		fmt.Fprintf(w, "%s;%s;%s %.0f\n", ref.Routine, locString(ref.File, ref.Line), ref.Class, p.Lines[ref])
+	}
+	return nil
+}

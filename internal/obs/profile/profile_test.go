@@ -1,0 +1,230 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"f90y/internal/rt"
+)
+
+func testProfile() *Profile {
+	src := "program k\nx = y + z\nw = sin(x)\nend\n"
+	lines := map[rt.LineRef]float64{
+		{Routine: "Pk0", File: "k.f90", Line: 2, Class: "vector-arith"}: 36,
+		{Routine: "Pk0", File: "k.f90", Line: 2, Class: "load-store"}:   18,
+		{Routine: "Pk0", File: "k.f90", Line: 2, Class: "loop"}:         1,
+		{Routine: "Pk1", File: "k.f90", Line: 3, Class: "transcend"}:    60,
+		{Routine: "Pk1", File: "k.f90", Line: 3, Class: "loop"}:         1,
+		{Routine: "Pk1", File: "", Line: 0, Class: "degrade"}:           5,
+	}
+	return New(lines, map[string]string{"k.f90": src})
+}
+
+// TestWritersDeterministic pins every artifact's byte stability: two
+// renderings of the same profile are identical.
+func TestWritersDeterministic(t *testing.T) {
+	p := testProfile()
+	for _, w := range []struct {
+		name   string
+		render func(io.Writer) error
+	}{
+		{"annotated", p.WriteAnnotated},
+		{"folded", p.WriteFolded},
+		{"pprof", p.WritePprof},
+	} {
+		var a, b bytes.Buffer
+		if err := w.render(&a); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if err := w.render(&b); err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: two renderings differ", w.name)
+		}
+		if a.Len() == 0 {
+			t.Errorf("%s: empty output", w.name)
+		}
+	}
+}
+
+// TestAnnotatedReport checks the text rendering: total in the header,
+// the hot source line annotated in the listing, and the provenance-free
+// degrade cycles surfaced as unattributed (conservation: nothing is
+// silently dropped).
+func TestAnnotatedReport(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := p.WriteAnnotated(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := "121 modeled PE cycles"; !strings.Contains(out, want) {
+		t.Errorf("missing total %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, "x = y + z") || !strings.Contains(out, "w = sin(x)") {
+		t.Errorf("annotated listing is missing source text:\n%s", out)
+	}
+	if !strings.Contains(out, "unattributed:") || !strings.Contains(out, "<unknown>") {
+		t.Errorf("position-free cycles not reported as unattributed:\n%s", out)
+	}
+}
+
+// TestFoldedConservation parses the folded stacks back and checks the
+// values sum to the profile total and every frame has the
+// routine;location;class shape.
+func TestFoldedConservation(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		stack, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		if frames := strings.Split(stack, ";"); len(frames) != 3 {
+			t.Errorf("stack %q has %d frames, want 3", stack, len(frames))
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("folded value %q: %v", val, err)
+		}
+		sum += v
+	}
+	if sum != p.Total() {
+		t.Errorf("folded values sum to %v, profile total is %v", sum, p.Total())
+	}
+}
+
+// protoFields walks one level of protobuf wire format, calling visit
+// with each field number and its varint value (wire 0) or payload
+// (wire 2).
+func protoFields(t *testing.T, b []byte, visit func(field int, varint uint64, payload []byte)) {
+	t.Helper()
+	for len(b) > 0 {
+		key, n := uvarint(b)
+		if n <= 0 {
+			t.Fatal("malformed protobuf key")
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(b)
+			if n <= 0 {
+				t.Fatal("malformed varint")
+			}
+			b = b[n:]
+			visit(field, v, nil)
+		case 2:
+			l, n := uvarint(b)
+			if n <= 0 || int(l) > len(b[n:]) {
+				t.Fatal("malformed length-delimited field")
+			}
+			visit(field, 0, b[n:n+int(l)])
+			b = b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, -1
+}
+
+// TestPprofProfileShape gunzips and decodes the emitted profile and
+// checks the invariants `go tool pprof` depends on: samples sum to the
+// attribution total, the string table starts empty and contains the
+// sample type and class names, and every referenced location, function,
+// and mapping is present.
+func TestPprofProfileShape(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var strs []string
+	var sampleSum int64
+	samples, mappings, locations, functions := 0, 0, 0, 0
+	locSeen := map[uint64]bool{}
+	locUsed := map[uint64]bool{}
+	protoFields(t, raw, func(field int, _ uint64, payload []byte) {
+		switch field {
+		case 2: // Sample
+			samples++
+			protoFields(t, payload, func(f int, v uint64, _ []byte) {
+				switch f {
+				case 1:
+					locUsed[v] = true
+				case 2:
+					sampleSum += int64(v)
+				}
+			})
+		case 3:
+			mappings++
+		case 4: // Location
+			locations++
+			protoFields(t, payload, func(f int, v uint64, _ []byte) {
+				if f == 1 {
+					locSeen[v] = true
+				}
+			})
+		case 5:
+			functions++
+		case 6:
+			strs = append(strs, string(payload))
+		}
+	})
+
+	if want := int64(p.Total()); sampleSum != want {
+		t.Errorf("sample values sum to %d, want %d", sampleSum, want)
+	}
+	if samples != len(p.Lines) {
+		t.Errorf("%d samples, want one per attribution cell (%d)", samples, len(p.Lines))
+	}
+	if mappings != 1 {
+		t.Errorf("%d mappings, want 1", mappings)
+	}
+	if functions == 0 || locations == 0 {
+		t.Errorf("functions/locations = %d/%d, want both nonzero", functions, locations)
+	}
+	if len(strs) == 0 || strs[0] != "" {
+		t.Fatalf("string table must start with the empty string, got %q", strs)
+	}
+	joined := fmt.Sprintf("%q", strs)
+	for _, want := range []string{"cycles", "count", "class", "vector-arith", "transcend", "f90y-model", "k.f90", "Pk0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("string table is missing %q: %s", want, joined)
+		}
+	}
+	for id := range locUsed {
+		if !locSeen[id] {
+			t.Errorf("sample references undefined location %d", id)
+		}
+	}
+}

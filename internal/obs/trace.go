@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 )
@@ -9,16 +10,17 @@ import (
 // traceEvent is one Chrome trace_event record. The format is documented
 // in the Trace Event Format spec; "X" is a complete event (ts + dur),
 // "C" a counter sample, "M" process/thread metadata. Timestamps are in
-// microseconds.
+// microseconds. Args is pre-rendered JSON so the argument key order is
+// fixed by construction, keeping WriteTrace output byte-stable.
 type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant-event scope
-	Args map[string]any `json:"args,omitempty"`
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s,omitempty"` // instant-event scope
+	Args json.RawMessage `json:"args,omitempty"`
 }
 
 type traceFile struct {
@@ -26,11 +28,64 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// argsJSON renders an args object with the given keys in the given
+// order. Values marshal individually, so any marshalable value works.
+func argsJSON(keys []string, get func(string) any) json.RawMessage {
+	out := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(get(k))
+		if err != nil {
+			vb = []byte("null")
+		}
+		out = append(out, kb...)
+		out = append(out, ':')
+		out = append(out, vb...)
+	}
+	return append(out, '}')
+}
+
+// attrArgs renders numeric event attributes with sorted keys: the
+// explicit ordering (rather than reliance on encoding/json's map-key
+// sorting) is what the byte-stability golden test pins down.
+func attrArgs(attrs map[string]float64) json.RawMessage {
+	if len(attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return argsJSON(keys, func(k string) any { return attrs[k] })
+}
+
+func oneArg(key string, val any) json.RawMessage {
+	return argsJSON([]string{key}, func(string) any { return val })
+}
+
+// trackTid maps a span track to a trace thread id. Track 0 (the default
+// lane) is tid 1; executor workers (track 1..N) become tids 2..N+1.
+func trackTid(track int) int { return track + 1 }
+
+// trackName is the lane label shown by the trace viewer.
+func trackName(track int) string {
+	if track == 0 {
+		return "main"
+	}
+	return fmt.Sprintf("worker %d", track)
+}
+
 // WriteTrace exports the collector as Chrome trace_event JSON: every
-// span becomes a complete ("X") event — nested phases nest in the
-// timeline — and every counter becomes a counter ("C") sample at the
-// end of the trace. Load the output at chrome://tracing or
-// https://ui.perfetto.dev.
+// span becomes a complete ("X") event on its track's thread lane —
+// nested phases nest in the timeline, executor pool workers appear as
+// separate lanes — and every counter becomes a counter ("C") sample at
+// the end of the trace. The output is byte-stable: exporting the same
+// collector twice produces identical bytes. Load the output at
+// chrome://tracing or https://ui.perfetto.dev.
 func (c *Collector) WriteTrace(w io.Writer) error {
 	spans := c.Spans()
 	counters := c.Counters()
@@ -38,8 +93,25 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	tf := traceFile{DisplayTimeUnit: "ms"}
 	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
-		Args: map[string]any{"name": "f90y"},
+		Args: oneArg("name", "f90y"),
 	})
+
+	// Name every thread lane the spans use, in tid order.
+	tracks := map[int]bool{0: true}
+	for _, s := range spans {
+		tracks[s.Track] = true
+	}
+	trackList := make([]int, 0, len(tracks))
+	for t := range tracks {
+		trackList = append(trackList, t)
+	}
+	sort.Ints(trackList)
+	for _, t := range trackList {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: trackTid(t),
+			Args: oneArg("name", trackName(t)),
+		})
+	}
 
 	var last float64
 	for _, s := range spans {
@@ -49,7 +121,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 			last = end
 		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: s.Name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: 1,
+			Name: s.Name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: trackTid(s.Track),
 		})
 	}
 
@@ -59,12 +131,8 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		if ts > last {
 			last = ts
 		}
-		args := make(map[string]any, len(e.Attrs))
-		for k, v := range e.Attrs {
-			args[k] = v
-		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: e.Name, Ph: "i", Ts: ts, Pid: 1, Tid: 1, S: "t", Args: args,
+			Name: e.Name, Ph: "i", Ts: ts, Pid: 1, Tid: 1, S: "t", Args: attrArgs(e.Attrs),
 		})
 	}
 
@@ -76,7 +144,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	for _, k := range keys {
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: k, Ph: "C", Ts: last, Pid: 1, Tid: 1,
-			Args: map[string]any{"value": counters[k]},
+			Args: oneArg("value", counters[k]),
 		})
 	}
 

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceCollector records a deterministic mix of everything WriteTrace
+// renders: nested default-track spans, per-worker tracked spans, a
+// multi-attribute event, counters, and a histogram sample.
+func traceCollector() *Collector {
+	c := NewCollector()
+	fakeClock(c)
+	root := c.StartSpan("exec")             // t=1ms
+	w1 := c.StartSpanTrack("worker/Pk0", 1) // t=2ms
+	w2 := c.StartSpanTrack("worker/Pk0", 2) // t=3ms
+	ch := c.StartSpanTrack("chunk/Pk0", 1)  // t=4ms
+	ch.End()                                // t=5ms
+	w2.End()                                // t=6ms
+	w1.End()                                // t=7ms
+	root.End()                              // t=8ms
+	c.Event("fault/inject", map[string]float64{"pe": 3, "cycle": 96, "kind": 1})
+	c.Add("execpool/chunks", 7)
+	c.Add("exec/pe-cycles", 1476)
+	c.Observe("execpool/chunk-ns", 123)
+	return c
+}
+
+// TestWriteTraceByteStable pins WriteTrace's determinism: exporting the
+// same collector twice yields identical bytes (argument key order and
+// counter order are fixed by construction, not by map iteration), and
+// the rendering matches the committed golden file.
+func TestWriteTraceByteStable(t *testing.T) {
+	c := traceCollector()
+	var a, b bytes.Buffer
+	if err := c.WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two exports of the same collector differ:\n--- first ---\n%s--- second ---\n%s", a.String(), b.String())
+	}
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, a.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), want) {
+		t.Errorf("trace mismatch\n--- got ---\n%s--- want ---\n%s", a.String(), want)
+	}
+}
+
+// TestWriteTraceWorkerTracks asserts tracked spans land on their own
+// named thread lanes: one thread_name metadata record per track, and
+// every span's tid matching its track's.
+func TestWriteTraceWorkerTracks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceCollector().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	threadNames := map[int]string{}
+	spanTids := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames[e.Tid], _ = e.Args["name"].(string)
+		case e.Ph == "X":
+			spanTids[e.Name] = e.Tid
+		}
+	}
+	want := map[int]string{1: "main", 2: "worker 1", 3: "worker 2"}
+	for tid, name := range want {
+		if threadNames[tid] != name {
+			t.Errorf("thread_name[tid=%d] = %q, want %q", tid, threadNames[tid], name)
+		}
+	}
+	if spanTids["exec"] != 1 {
+		t.Errorf("exec span tid = %d, want 1 (main)", spanTids["exec"])
+	}
+	if spanTids["chunk/Pk0"] != 2 {
+		t.Errorf("chunk span tid = %d, want 2 (worker 1)", spanTids["chunk/Pk0"])
+	}
+}

@@ -66,9 +66,9 @@ func retagLoop(d nir.Do, target shape.Shape) nir.Do {
 	body := nir.RewriteImps(d.Body, func(a nir.Imp) nir.Imp {
 		switch a := a.(type) {
 		case nir.Move:
-			out := nir.Move{Over: a.Over, Moves: make([]nir.GuardedMove, len(a.Moves))}
+			out := nir.Move{Over: a.Over, Moves: make([]nir.GuardedMove, len(a.Moves)), Pos: a.Pos}
 			for i, g := range a.Moves {
-				out.Moves[i] = nir.GuardedMove{Mask: rt(g.Mask), Src: rt(g.Src), Tgt: rt(g.Tgt)}
+				out.Moves[i] = nir.GuardedMove{Mask: rt(g.Mask), Src: rt(g.Src), Tgt: rt(g.Tgt), Pos: g.Pos}
 			}
 			return out
 		case nir.IfThenElse:
@@ -292,6 +292,9 @@ func (o *optimizer) blockList(list []nir.Imp) nir.Imp {
 		}
 		fused := nir.Move{Over: b.over}
 		for _, m := range b.moves {
+			if !fused.Pos.IsValid() {
+				fused.Pos = m.Pos
+			}
 			fused.Moves = append(fused.Moves, m.Moves...)
 		}
 		out = append(out, fused)

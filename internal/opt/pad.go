@@ -92,7 +92,7 @@ func (c *Classifier) PadMove(m nir.Move) (nir.Move, bool) {
 		mask = nir.True
 	}
 
-	out := nir.Move{Over: full, Moves: make([]nir.GuardedMove, len(m.Moves))}
+	out := nir.Move{Over: full, Moves: make([]nir.GuardedMove, len(m.Moves)), Pos: m.Pos}
 	toEverywhere := func(v nir.Value) nir.Value {
 		return nir.RewriteValues(v, func(x nir.Value) nir.Value {
 			if av, ok := x.(nir.AVar); ok {
@@ -107,6 +107,7 @@ func (c *Classifier) PadMove(m nir.Move) (nir.Move, bool) {
 		ng := nir.GuardedMove{
 			Src: toEverywhere(g.Src),
 			Tgt: toEverywhere(g.Tgt),
+			Pos: g.Pos,
 		}
 		oldMask := toEverywhere(g.Mask)
 		if nir.EqualValue(oldMask, nir.True) {

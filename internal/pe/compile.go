@@ -6,6 +6,7 @@ import (
 	"f90y/internal/lower"
 	"f90y/internal/nir"
 	"f90y/internal/peac"
+	"f90y/internal/source"
 )
 
 // Compile reduces one computation block — a fused pointwise MOVE over a
@@ -41,7 +42,19 @@ func Compile(name string, m nir.Move, syms *lower.SymTab, opts Options) (*peac.R
 		if sym, found := syms.Lookup(av.Name); found {
 			isInt = sym.Kind == nir.Integer32
 		}
-		b.store(av.Name, val, mask, isInt)
+		b.store(av.Name, val, mask, isInt, g.Pos)
+	}
+
+	// Anchor position for costs without finer provenance: the block's own
+	// statement, or the first positioned store when the block has none.
+	anchor := m.Pos
+	if !anchor.IsValid() {
+		for _, st := range b.stores {
+			if st.pos.IsValid() {
+				anchor = st.pos
+				break
+			}
+		}
 	}
 
 	sel := newSelector(b, opts)
@@ -57,13 +70,14 @@ func Compile(name string, m nir.Move, syms *lower.SymTab, opts Options) (*peac.R
 	if opts.Overlap {
 		body = overlap(body)
 	}
-	body = append(body, peac.Instr{Op: peac.JNZ})
+	body = append(body, peac.Instr{Op: peac.JNZ, Pos: anchor})
 
 	return &peac.Routine{
 		Name:       name,
 		Params:     sel.params,
 		Body:       body,
 		SpillSlots: slots,
+		Pos:        anchor,
 	}, nil
 }
 
@@ -79,6 +93,11 @@ type selector struct {
 	nvreg   int
 	nextPtr int // pointer register counter (aP2 upward, as in Fig. 12)
 	nextS   int // scalar register counter (aS16 upward)
+
+	// curPos is the source position of the store whose cone is being
+	// emitted; every instruction appended while it is set inherits it.
+	// CSE'd nodes are attributed to their first emitter.
+	curPos source.Pos
 }
 
 func newSelector(b *builder, opts Options) *selector {
@@ -97,6 +116,7 @@ func (s *selector) run() error {
 		s.markFmadds()
 	}
 	for _, st := range s.b.stores {
+		s.curPos = st.pos
 		if st.mask != nil {
 			if err := s.emit(st.mask); err != nil {
 				return err
@@ -107,7 +127,7 @@ func (s *selector) run() error {
 		}
 		// Target stream pointer.
 		ptr := s.newPtr(peac.Param{Kind: peac.ArrayParam, Name: st.array})
-		in := peac.Instr{Op: peac.FSTRV, A: s.operandOf(st.val), D: peac.M(ptr)}
+		in := peac.Instr{Op: peac.FSTRV, A: s.operandOf(st.val), D: peac.M(ptr), Pos: st.pos}
 		if st.mask != nil {
 			in.C = s.operandOf(st.mask)
 		}
@@ -236,13 +256,13 @@ func (s *selector) emit(n *node) error {
 			return nil
 		}
 		d := s.newVReg()
-		s.instrs = append(s.instrs, peac.Instr{Op: peac.FLODV, A: peac.M(ptr), D: d})
+		s.instrs = append(s.instrs, peac.Instr{Op: peac.FLODV, A: peac.M(ptr), D: d, Pos: s.curPos})
 		s.operand[n] = d
 		return nil
 	case opCoord:
 		ptr := s.newPtr(peac.Param{Kind: peac.CoordParam, Dim: n.dim, IsInt: true})
 		d := s.newVReg()
-		s.instrs = append(s.instrs, peac.Instr{Op: peac.FLODV, A: peac.M(ptr), D: d})
+		s.instrs = append(s.instrs, peac.Instr{Op: peac.FLODV, A: peac.M(ptr), D: d, Pos: s.curPos})
 		s.operand[n] = d
 		return nil
 	case opUn:
@@ -262,7 +282,7 @@ func (s *selector) emit(n *node) error {
 			return fmt.Errorf("pe: no PEAC encoding for unary %v", n.un)
 		}
 		d := s.newVReg()
-		s.instrs = append(s.instrs, peac.Instr{Op: op, A: s.operandOf(n.args[0]), D: d, IntOp: n.isInt})
+		s.instrs = append(s.instrs, peac.Instr{Op: op, A: s.operandOf(n.args[0]), D: d, IntOp: n.isInt, Pos: s.curPos})
 		s.operand[n] = d
 		return nil
 	case opCmp:
@@ -285,7 +305,7 @@ func (s *selector) emit(n *node) error {
 		d := s.newVReg()
 		s.instrs = append(s.instrs, peac.Instr{Op: peac.FSELV,
 			A: s.operandOf(n.args[1]), B: s.operandOf(n.args[2]),
-			C: s.operandOf(n.args[0]), D: d})
+			C: s.operandOf(n.args[0]), D: d, Pos: s.curPos})
 		s.operand[n] = d
 		return nil
 	}
@@ -321,7 +341,7 @@ func (s *selector) emitFmadd(n, mul, addend *node, isSub, _ bool) error {
 	d := s.newVReg()
 	s.instrs = append(s.instrs, peac.Instr{Op: op,
 		A: s.operandOf(mul.args[0]), B: s.operandOf(mul.args[1]),
-		C: s.operandOf(addend), D: d})
+		C: s.operandOf(addend), D: d, Pos: s.curPos})
 	s.operand[n] = d
 	s.operand[mul] = d // fused: no separate result
 	s.emitted[mul] = true
@@ -349,7 +369,7 @@ func (s *selector) emitBinLike(n *node, op peac.Opcode) error {
 	}
 	_ = chained
 	d := s.newVReg()
-	in := peac.Instr{Op: op, A: s.operandOf(l), B: s.operandOf(r), D: d, IntOp: n.isInt}
+	in := peac.Instr{Op: op, A: s.operandOf(l), B: s.operandOf(r), D: d, IntOp: n.isInt, Pos: s.curPos}
 	if op == peac.FCMPV {
 		in.Cmp = cmpKind[n.cmp]
 	}

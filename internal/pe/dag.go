@@ -17,6 +17,7 @@ import (
 
 	"f90y/internal/lower"
 	"f90y/internal/nir"
+	"f90y/internal/source"
 )
 
 // Options selects the §5.2 optimizations individually, supporting the
@@ -72,11 +73,14 @@ type node struct {
 	chain bool // folded as a memory operand; no separate load emitted
 }
 
-// storeEffect is one array store in block order.
+// storeEffect is one array store in block order. pos is the source
+// statement of the guarded move the store implements; the selector
+// attributes every instruction emitted for this store's cone to it.
 type storeEffect struct {
 	array string
 	val   *node
 	mask  *node // nil = unconditional
+	pos   source.Pos
 }
 
 // builder constructs the DAG for one computation block.
@@ -210,11 +214,11 @@ func (b *builder) sel(cond, t, f *node) *node {
 
 // store records a (possibly masked) array store and updates forwarding
 // state.
-func (b *builder) store(array string, val *node, mask *node, isInt bool) {
+func (b *builder) store(array string, val *node, mask *node, isInt bool, pos source.Pos) {
 	if isInt && !val.isInt {
 		val = b.unary(nir.ToInteger32, val)
 	}
-	b.stores = append(b.stores, storeEffect{array: array, val: val, mask: mask})
+	b.stores = append(b.stores, storeEffect{array: array, val: val, mask: mask, pos: pos})
 	if mask == nil {
 		b.avail[array] = val
 	} else {

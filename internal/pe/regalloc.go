@@ -82,7 +82,9 @@ func allocate(instrs []peac.Instr, nvreg, K int) ([]peac.Instr, int) {
 			// Value still needed later: write it to its spill slot.
 			slotOf[v] = slots
 			slots++
-			out = append(out, peac.Instr{Op: peac.SPILLV, A: peac.V(victim), D: peac.Slot(slotOf[v])})
+			// The spill is attributed to the instruction whose pressure
+			// forced it, keeping spill cycles on the line that caused them.
+			out = append(out, peac.Instr{Op: peac.SPILLV, A: peac.V(victim), D: peac.Slot(slotOf[v]), Pos: instrs[at].Pos})
 		}
 		physOf[v] = -1
 		resident[victim] = -1
@@ -111,7 +113,7 @@ func allocate(instrs []peac.Instr, nvreg, K int) ([]peac.Instr, int) {
 				continue
 			}
 			p := allocPhys(i, residentSet(resident, srcs))
-			out = append(out, peac.Instr{Op: peac.RESTV, A: peac.Slot(slotOf[v]), D: peac.V(p)})
+			out = append(out, peac.Instr{Op: peac.RESTV, A: peac.Slot(slotOf[v]), D: peac.V(p), Pos: in.Pos})
 			physOf[v] = p
 			resident[p] = v
 		}

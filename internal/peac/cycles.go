@@ -1,5 +1,7 @@
 package peac
 
+import "f90y/internal/source"
+
 // CycleClass partitions PEAC instructions for cycle attribution: the
 // §5.2/§6 analysis reasons about vector arithmetic, microcoded divides
 // and transcendentals, memory traffic, spill/restore pairs, and loop
@@ -109,5 +111,45 @@ func (c CostModel) BodyCyclesByClass(body []Instr) ClassCycles {
 		prev = cyc
 	}
 	out[ClassLoop] += c.LoopJnz
+	return out
+}
+
+// LineCell is one (source position, cycle class) attribution bucket.
+type LineCell struct {
+	Pos   source.Pos
+	Class CycleClass
+}
+
+// BodyCyclesByLine attributes BodyCycles to (source line, class) cells
+// using exactly the same dual-issue accounting as BodyCyclesByClass, so
+// the per-cell tallies sum to BodyCycles(body) and their per-class
+// marginals equal BodyCyclesByClass(body). Instructions without a valid
+// Pos fall back to loopPos (the routine's anchor position), as does the
+// trailing loop-control jnz charge.
+func (c CostModel) BodyCyclesByLine(body []Instr, loopPos source.Pos) map[LineCell]int {
+	out := map[LineCell]int{}
+	at := func(in Instr) source.Pos {
+		if in.Pos.IsValid() {
+			return in.Pos
+		}
+		return loopPos
+	}
+	prev := 0
+	for _, in := range body {
+		if in.Op == JNZ {
+			continue // charged once by the trailing LoopJnz term
+		}
+		cyc := c.InstrCycles(in)
+		if in.Paired && prev > 0 {
+			if cyc > prev {
+				out[LineCell{Pos: at(in), Class: ClassOf(in)}] += cyc - prev
+				prev = cyc
+			}
+			continue
+		}
+		out[LineCell{Pos: at(in), Class: ClassOf(in)}] += cyc
+		prev = cyc
+	}
+	out[LineCell{Pos: loopPos, Class: ClassLoop}] += c.LoopJnz
 	return out
 }

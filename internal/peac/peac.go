@@ -11,7 +11,11 @@
 // basic block with a single back edge (§5.2).
 package peac
 
-import "fmt"
+import (
+	"fmt"
+
+	"f90y/internal/source"
+)
 
 // VectorWidth is the number of elements processed by one vector
 // instruction (the Weitek four-wide vector abstraction).
@@ -128,7 +132,9 @@ func (o Operand) String() string {
 // addend, the select condition, or the store mask), D the destination.
 // IntOp selects integer semantics for division-like operations. Paired
 // marks an instruction dual-issued with its predecessor (printed on the
-// same line, Fig. 12's optimized encoding).
+// same line, Fig. 12's optimized encoding). Pos is the Fortran statement
+// the instruction descends from (zero when provenance is unknown);
+// attribution and profiling key on it, execution ignores it.
 type Instr struct {
 	Op     Opcode
 	Cmp    CmpKind
@@ -137,6 +143,7 @@ type Instr struct {
 	D      Operand
 	IntOp  bool
 	Paired bool
+	Pos    source.Pos
 }
 
 var opNames = map[Opcode]string{

@@ -3,6 +3,8 @@ package peac
 import (
 	"fmt"
 	"strings"
+
+	"f90y/internal/source"
 )
 
 // ParamKind classifies routine parameters pushed over the IFIFO (§5.2:
@@ -50,12 +52,15 @@ func (p Param) String() string {
 
 // Routine is one PEAC node procedure: a single virtual-subgrid loop whose
 // body is Body, preceded by parameter reception. Stores write back to the
-// arrays named in Params.
+// arrays named in Params. Pos is the source statement the routine's first
+// store descends from — the anchor for costs with no finer provenance
+// (loop control, per-call overheads, degrade charges).
 type Routine struct {
 	Name       string
 	Params     []Param
 	Body       []Instr
 	SpillSlots int // spill area words per PE
+	Pos        source.Pos
 }
 
 // Format renders the routine in the Fig. 12 assembly style: the loop

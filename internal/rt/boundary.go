@@ -45,6 +45,7 @@ type ExecTotals struct {
 	PECycles        float64
 	PEClassCycles   map[string]float64
 	PERoutineCycles map[string]float64
+	PELineCycles    map[LineRef]float64
 }
 
 // SnapshotBoundary captures the checkpoint state shared by every
@@ -64,6 +65,7 @@ func SnapshotBoundary(store *Store, comm *Comm, b Boundary, host HostState, tot 
 	ck.CommCycles = comm.Cycles
 	ck.PEClassCycles = CopyMap(tot.PEClassCycles)
 	ck.PERoutineCycles = CopyMap(tot.PERoutineCycles)
+	ck.PELineCycles = CopyLineMap(tot.PELineCycles)
 	ck.CommClassCycles = CopyMap(comm.ClassCycles)
 	ck.HostClassCycles = host.ClassCycles
 	return ck
@@ -84,5 +86,6 @@ func ResumeBoundary(ck *Checkpoint, store *Store, comm *Comm) (ExecTotals, error
 		PECycles:        ck.PECycles,
 		PEClassCycles:   CopyMap(ck.PEClassCycles),
 		PERoutineCycles: CopyMap(ck.PERoutineCycles),
+		PELineCycles:    CopyLineMap(ck.PELineCycles),
 	}, nil
 }

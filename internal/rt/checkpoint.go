@@ -50,6 +50,9 @@ type Checkpoint struct {
 	CommCycles      float64            `json:"comm_cycles"`
 	PEClassCycles   map[string]float64 `json:"pe_class_cycles,omitempty"`
 	PERoutineCycles map[string]float64 `json:"pe_routine_cycles,omitempty"`
+	// PELineCycles carries the source-line attribution; LineRef keys
+	// serialize as "routine|file:line|class" strings.
+	PELineCycles map[LineRef]float64 `json:"pe_line_cycles,omitempty"`
 	CommClassCycles map[string]float64 `json:"comm_class_cycles,omitempty"`
 	HostClassCycles map[string]float64 `json:"host_class_cycles,omitempty"`
 	// Extra carries machine-specific cycle buckets (the CM-5's

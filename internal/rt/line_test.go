@@ -1,0 +1,71 @@
+package rt
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLineRefTextRoundTrip asserts MarshalText/UnmarshalText are exact
+// inverses — the property the checkpoint JSON encoding of PELineCycles
+// (and ctl_test's DeepEqual round-trip) depends on — including files
+// whose names contain ':' and refs with no provenance at all.
+func TestLineRefTextRoundTrip(t *testing.T) {
+	refs := []LineRef{
+		{Routine: "Pk0", File: "swe.f90", Line: 23, Class: "vector-arith"},
+		{Routine: "Pk1", File: "C:/src/swe.f90", Line: 7, Class: "divide"},
+		{Routine: "Pk2", File: "", Line: 0, Class: "loop"},
+		{Routine: "Pk3", File: "a.f90", Line: 0, Class: "spill"},
+	}
+	for _, ref := range refs {
+		text, err := ref.MarshalText()
+		if err != nil {
+			t.Fatalf("%+v: %v", ref, err)
+		}
+		var got LineRef
+		if err := got.UnmarshalText(text); err != nil {
+			t.Fatalf("%+v: unmarshal %q: %v", ref, text, err)
+		}
+		if got != ref {
+			t.Errorf("round trip %q: got %+v, want %+v", text, got, ref)
+		}
+	}
+}
+
+// TestLineRefJSONMapKey asserts a PELineCycles map survives the JSON
+// encoding checkpoints use (LineRef as a TextMarshaler map key).
+func TestLineRefJSONMapKey(t *testing.T) {
+	in := map[LineRef]float64{
+		{Routine: "Pk0", File: "swe.f90", Line: 23, Class: "vector-arith"}: 169,
+		{Routine: "Pk0", File: "swe.f90", Line: 23, Class: "loop"}:         1,
+		{Routine: "Pk2", File: "", Line: 0, Class: "degrade"}:              42,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[LineRef]float64
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip kept %d entries, want %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Errorf("round trip[%v] = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+// TestCopyLineMap asserts the copy is deep and nil maps to empty.
+func TestCopyLineMap(t *testing.T) {
+	if got := CopyLineMap(nil); got == nil || len(got) != 0 {
+		t.Errorf("CopyLineMap(nil) = %v, want empty non-nil map", got)
+	}
+	src := map[LineRef]float64{{Routine: "P", Line: 1, Class: "loop"}: 2}
+	cp := CopyLineMap(src)
+	cp[LineRef{Routine: "P", Line: 1, Class: "loop"}] = 99
+	if src[LineRef{Routine: "P", Line: 1, Class: "loop"}] != 2 {
+		t.Error("CopyLineMap aliases its input")
+	}
+}
