@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke profile-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
+.PHONY: check vet build test race smoke serve-smoke loadtest fuzz-smoke profile-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
 # tests (driver cache, batch executor, cancellation), machine-readable
 # benchmark smoke runs (serial and batch mode), a short fuzz of the
 # front end, the fault-plane determinism tests, a short fault-invariance
-# soak through the differential oracle, and an end-to-end smoke of the
-# source-line cycle profiler's three artifact formats.
-check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke
+# soak through the differential oracle, an end-to-end smoke of the
+# source-line cycle profiler's three artifact formats, and the f90yd
+# server lifecycle smoke (start, load, overload, SIGTERM drain).
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,22 @@ smoke:
 	$(GO) run ./cmd/swebench -json -n 128 -steps 2 -o .bench-smoke.json
 	$(GO) run ./cmd/swebench -json -parallel 4 -n 128 -steps 2 -o .bench-smoke.json
 	rm -f .bench-smoke.json
+
+# End-to-end server lifecycle smoke: build f90yd, start it on a random
+# port, fire the swebench -serve-url traffic mix (healthy, verified,
+# fault-injected, budget-killer, oversize), assert only documented
+# statuses come back, SIGTERM, and assert a clean drain (exit 0 with a
+# draining stats snapshot).
+serve-smoke:
+	REQS=48 LOADW=8 OUT=.load-smoke.json ./scripts/serve_smoke.sh
+	rm -f .load-smoke.json
+
+# Bigger load run against a fresh server, recording the f90y-load/v1
+# baseline (healthy p50/p99, per-class status counts) quoted in
+# EXPERIMENTS.md L1. 32 clients against 4 workers + a depth-8 queue
+# drives the admission queue into overflow on purpose.
+loadtest:
+	REQS=256 LOADW=32 OUT=LOAD_baseline.json ./scripts/serve_smoke.sh
 
 # Short fuzz of the parser, the whole compile pipeline, and the
 # differential oracle (~30s). The native fuzzer also replays the
@@ -106,4 +123,4 @@ bench-record:
 # clean removes generated benchmark outputs but keeps the committed
 # BENCH_baseline.json (refresh it with bench-record).
 clean:
-	rm -f BENCH_swe_*.json BENCH_batch.json .bench-smoke.json .profile-smoke.pb.gz .profile-smoke.folded
+	rm -f BENCH_swe_*.json BENCH_batch.json .bench-smoke.json .profile-smoke.pb.gz .profile-smoke.folded .load-smoke.json LOAD_swe.json

@@ -10,6 +10,16 @@
 //	         [-profile] [-profile-pprof swe.pb.gz] [-profile-folded swe.folded]
 //	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
 //	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
+//	swebench -serve-url http://127.0.0.1:8090 [-load 64] [-load-workers 8]
+//	         [-serve-wait 10s] [-o LOAD_swe.json]
+//
+// With -serve-url the suite turns into a traffic generator against a
+// running f90yd server (see serve.go): a deterministic mix of healthy,
+// verified, fault-injected, budget-killer, and oversized jobs is fired
+// from concurrent clients, every response is checked against the
+// documented error taxonomy (any 500 fails the run), and a
+// "f90y-load/v1" record with healthy-request p50/p99 latencies is
+// written to -o.
 //
 // With -parallel N the seven experiments run concurrently on an
 // N-worker pool (N < 1 selects GOMAXPROCS): each experiment renders
@@ -54,6 +64,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"f90y"
 	"f90y/internal/cm2"
@@ -79,6 +90,10 @@ var (
 	flagSoak       = flag.Int("soak", 0, "chaos-soak: verify all kernels differentially, then sweep N seeds x fault plans x backends")
 	flagReproDir   = flag.String("repro-dir", "soak-repros", "directory for fault-invariance reproducer specs (-soak)")
 	flagExecW      = flag.Int("exec-workers", 1, "shard each routine dispatch across N chunk workers (1 = serial, <0 = GOMAXPROCS); results are bit-exact")
+	flagServeURL   = flag.String("serve-url", "", "load-generator client mode: fire a mixed job stream at a running f90yd and write a f90y-load/v1 record")
+	flagLoad       = flag.Int("load", 64, "with -serve-url: total requests to issue")
+	flagLoadW      = flag.Int("load-workers", 8, "with -serve-url: concurrent client connections")
+	flagServeWait  = flag.Duration("serve-wait", 10*time.Second, "with -serve-url: how long to poll /healthz for the server to come up")
 	flagProf       = flag.Bool("profile", false, "with -json: print the SWE run's source-annotated cycle profile to stdout")
 	flagProfPB     = flag.String("profile-pprof", "", "with -json: write the SWE run's pprof protobuf profile")
 	flagProfFG     = flag.String("profile-folded", "", "with -json: write the SWE run's folded stacks for flamegraph tooling")
@@ -119,6 +134,12 @@ func main() {
 	workers := *flagParallel
 	if (*flagProf || *flagProfPB != "" || *flagProfFG != "") && !*flagJSON {
 		die(fmt.Errorf("-profile, -profile-pprof, and -profile-folded require -json (they profile the measured SWE run)"))
+	}
+	if *flagServeURL != "" {
+		if err := runServeLoad(os.Stdout, *flagServeURL, *flagLoad, *flagLoadW, *flagServeWait, *flagOut); err != nil {
+			die(err)
+		}
+		return
 	}
 	if *flagSoak > 0 {
 		failures, err := runSoak(os.Stdout, *flagSoak, workers, *flagReproDir, *flagJSON, *flagOut)

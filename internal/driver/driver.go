@@ -11,6 +11,9 @@
 //     runs the pipeline; every later request — including concurrent
 //     ones, which wait rather than duplicating work — is served the
 //     same immutable *Artifact without re-running any pipeline phase.
+//     The cache is LRU-bounded in entries and estimated bytes (see
+//     MaxCacheEntries/MaxCacheBytes), so a long-running server cannot
+//     grow it without limit; in-flight compiles are never evicted.
 //   - Service.Run / Service.RunBatch: compile+run jobs, batch-executed
 //     on a bounded worker pool with per-job telemetry recorders. Cycle
 //     totals, GFLOPS, and output are deterministic and independent of
@@ -21,6 +24,7 @@
 package driver
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"errors"
@@ -49,8 +53,18 @@ func KeyOf(src string, cfg f90y.Config) Key {
 // options. Machine and Obs are deliberately excluded — the target
 // machine is a run-time choice (the partitioned program is machine-
 // independent, §5.3.1), and telemetry never alters what is compiled.
+//
+// The rendering is explicit, field by field, NOT reflective (%+v):
+// adding, removing, or reordering a field in opt.Options or pe.Options
+// must be a conscious cache-key decision, enforced by the
+// TestFingerprint* golden and field-count tests. Bump the "fp1" prefix
+// when the meaning of an existing field changes.
 func Fingerprint(cfg f90y.Config) string {
-	return fmt.Sprintf("opt=%+v|pe=%+v", cfg.Opt, cfg.PE)
+	o, p := cfg.Opt, cfg.PE
+	return fmt.Sprintf(
+		"fp1|opt:pad=%t,block=%t|pe:cse=%t,chain=%t,fmadd=%t,overlap=%t,vregs=%d",
+		o.PadSections, o.BlockDomains,
+		p.CSE, p.Chaining, p.Fmadd, p.Overlap, p.VRegs)
 }
 
 // Artifact is one cached compilation: the full pipeline output, shared
@@ -63,11 +77,19 @@ type Artifact struct {
 
 // entry is one cache slot. The first requester compiles and closes
 // ready; concurrent requesters for the same key block on ready instead
-// of duplicating the pipeline.
+// of duplicating the pipeline. Waiters hold the *entry directly, so
+// evicting a slot from the map/LRU never disturbs a request already
+// waiting on it.
 type entry struct {
 	ready chan struct{}
 	art   *Artifact
 	err   error
+
+	// LRU bookkeeping, all guarded by Service.mu.
+	key  Key
+	elem *list.Element
+	cost int64
+	done bool // compile finished (success or error); only done entries evict
 }
 
 // Service is the concurrent compile-and-run service. The zero value is
@@ -91,10 +113,23 @@ type Service struct {
 	// Run/RunBatch call; it is read concurrently afterwards.
 	ExecWorkers int
 
-	mu     sync.Mutex
-	cache  map[Key]*entry
-	hits   int64
-	misses int64
+	// MaxCacheEntries and MaxCacheBytes bound the compile cache:
+	// entries beyond either bound are evicted least-recently-used.
+	// Zero leaves that dimension unbounded (the CLI default — a batch
+	// run compiles a fixed set of programs). Error entries count too,
+	// so a flood of distinct bad sources is bounded like everything
+	// else. Set before the first Compile call; they are read under the
+	// cache lock afterwards.
+	MaxCacheEntries int
+	MaxCacheBytes   int64
+
+	mu         sync.Mutex
+	cache      map[Key]*entry
+	lru        *list.List // of *entry; front = most recently used
+	cacheBytes int64      // summed cost of done entries
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
 // New returns a service whose batch executor runs up to workers jobs
@@ -103,7 +138,7 @@ func New(workers int) *Service {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Service{workers: workers, cache: map[Key]*entry{}}
+	return &Service{workers: workers, cache: map[Key]*entry{}, lru: list.New()}
 }
 
 // Workers is the batch executor's concurrency bound.
@@ -118,19 +153,118 @@ func (s *Service) CacheStats() (hits, misses int64) {
 	return s.hits, s.misses
 }
 
+// Peek reports whether (src, cfg) is resident and finished in the
+// cache, without touching LRU order or the hit/miss counters. The
+// answer is advisory — a concurrent request can evict or insert the
+// key immediately after.
+func (s *Service) Peek(src string, cfg f90y.Config) bool {
+	key := KeyOf(src, cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cache[key]
+	return ok && e.done
+}
+
+// CacheUsage reports the cache's current occupancy — resident entries
+// (including in-flight compiles) and the summed estimated bytes of the
+// finished ones — plus the number of LRU evictions so far.
+func (s *Service) CacheUsage() (entries int, bytes, evictions int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache), s.cacheBytes, s.evictions
+}
+
+// artifactCost estimates an entry's resident size for the byte bound:
+// the source it was compiled from plus a per-instruction and per-host-op
+// charge for the retained pipeline artifacts, and a fixed overhead. The
+// estimate only needs to be monotone in real footprint — the bound is a
+// capacity-planning knob, not an accountant.
+func artifactCost(src string, comp *f90y.Compilation) int64 {
+	cost := int64(1024 + len(src))
+	if comp == nil || comp.Program == nil {
+		return cost
+	}
+	instrs := 0
+	for _, r := range comp.Program.Routines {
+		instrs += r.InstrCount()
+	}
+	ops := 0
+	for _, n := range comp.Program.CountOps() {
+		ops += n
+	}
+	return cost + 64*int64(instrs) + 48*int64(ops)
+}
+
+// touchLocked marks e most recently used. Callers hold s.mu.
+func (s *Service) touchLocked(e *entry) {
+	if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+}
+
+// finishLocked records a completed compile (success or deterministic
+// error) and evicts over-bound LRU entries. Callers hold s.mu.
+func (s *Service) finishLocked(e *entry, cost int64) {
+	// The entry may have been evicted while compiling (possible only
+	// under a pathological entry bound smaller than the in-flight count);
+	// it still serves its waiters but owns no LRU slot.
+	if e.elem == nil {
+		return
+	}
+	e.done = true
+	e.cost = cost
+	s.cacheBytes += cost
+	s.evictLocked()
+}
+
+// evictLocked removes least-recently-used finished entries until both
+// bounds hold. In-flight entries are pinned: evicting one would orphan
+// its waiters' singleflight slot, and it has no settled cost yet.
+func (s *Service) evictLocked() {
+	over := func() bool {
+		return (s.MaxCacheEntries > 0 && len(s.cache) > s.MaxCacheEntries) ||
+			(s.MaxCacheBytes > 0 && s.cacheBytes > s.MaxCacheBytes)
+	}
+	for el := s.lru.Back(); el != nil && over(); {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.done {
+			s.removeLocked(e)
+			s.evictions++
+		}
+		el = prev
+	}
+}
+
+// removeLocked drops e from the map, the LRU list, and the byte total.
+// Callers hold s.mu.
+func (s *Service) removeLocked(e *entry) {
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	delete(s.cache, e.key)
+	if e.done {
+		s.cacheBytes -= e.cost
+	}
+}
+
 // Compile returns the cached artifact for (src, cfg), compiling on the
 // first request. On a hit no pipeline phase re-runs and the same
 // *Artifact pointer is returned; cfg.Obs receives compile spans only
 // on the miss that actually compiles. A context canceled while waiting
 // for another goroutine's in-flight compile abandons the wait (the
 // compile itself continues for its owner); a compile aborted by its own
-// context is evicted so a later request can retry.
+// context is evicted so a later request can retry. Deterministic
+// compile errors are cached like successes — and bounded like them, so
+// distinct bad sources cannot grow the cache past its LRU bounds.
 func (s *Service) Compile(ctx context.Context, file, src string, cfg f90y.Config) (*Artifact, error) {
 	key := KeyOf(src, cfg)
 	s.mu.Lock()
 	e, ok := s.cache[key]
 	if ok {
 		s.hits++
+		s.touchLocked(e)
 		s.mu.Unlock()
 		select {
 		case <-e.ready:
@@ -140,24 +274,30 @@ func (s *Service) Compile(ctx context.Context, file, src string, cfg f90y.Config
 		}
 	}
 	s.misses++
-	e = &entry{ready: make(chan struct{})}
+	e = &entry{ready: make(chan struct{}), key: key}
+	e.elem = s.lru.PushFront(e)
 	s.cache[key] = e
 	s.mu.Unlock()
 
 	comp, err := f90y.CompileCtx(ctx, file, src, cfg)
 	if err != nil {
 		e.err = err
+		s.mu.Lock()
 		if errors.Is(err, rt.ErrCanceled) {
 			// A canceled compile says nothing about the program; evict
 			// so the next request retries under its own context.
-			s.mu.Lock()
-			delete(s.cache, key)
-			s.mu.Unlock()
+			s.removeLocked(e)
+		} else {
+			s.finishLocked(e, int64(256+len(src)))
 		}
+		s.mu.Unlock()
 		close(e.ready)
 		return nil, err
 	}
 	e.art = &Artifact{Key: key, Comp: comp}
+	s.mu.Lock()
+	s.finishLocked(e, artifactCost(src, comp))
+	s.mu.Unlock()
 	close(e.ready)
 	return e.art, nil
 }

@@ -1,0 +1,455 @@
+// Package server is f90yd's hardened multi-tenant compile-and-run HTTP
+// server over internal/driver: the "millions of users" network boundary
+// the ROADMAP's first open item calls for. The robustness spine:
+//
+//   - Bounded admission: a fixed-depth queue in front of a fixed worker
+//     pool. Overflow is rejected at the edge with 429 + Retry-After —
+//     the pipeline never sees load it cannot carry.
+//   - Per-tenant quotas (quota.go): in-flight job caps, source-size
+//     caps, and cycle budgets enforced through the EXISTING watchdog
+//     hook (cm2.Control.MaxCycles → rt.ErrBudget) rather than a second
+//     enforcement path — one kill site, one error chain, deterministic.
+//   - Per-request deadlines mapped onto the end-to-end context plumbing
+//     that already reaches every pipeline phase and host-op boundary.
+//   - A typed error taxonomy (errors.go): every expected failure mode
+//     maps to a documented status + JSON code; 500 means a bug.
+//   - LRU + byte bounds on the artifact cache (driver.MaxCacheEntries/
+//     MaxCacheBytes), singleflight semantics preserved.
+//   - Graceful drain on SIGTERM: stop admitting (readyz → 503), let
+//     in-flight jobs finish inside a grace period, budget-kill the
+//     stragglers via context cause ErrDraining, flush /statsz.
+//
+// Endpoints: POST /v1/compile, POST /v1/run, GET /v1/jobs/{id},
+// GET /healthz, GET /readyz, GET /statsz. See handlers.go for the JSON
+// shapes and errors.go for the status taxonomy.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"f90y/internal/driver"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("" = 127.0.0.1:8090).
+	Addr string
+	// Workers is the job execution pool size (<1 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (<1 = 64).
+	QueueDepth int
+	// RequestTimeout is the per-job wall-clock deadline; a request may
+	// ask for less via timeout_ms, never more (0 = 60s).
+	RequestTimeout time.Duration
+	// MaxCycles is the service-default watchdog budget for jobs with no
+	// request or tenant budget (0 = 2e9 modeled cycles).
+	MaxCycles float64
+	// ExecWorkers is the service-default executor sharding (0 = serial).
+	ExecWorkers int
+	// Quotas are the per-tenant bounds; the zero value applies the
+	// defaults of DefaultQuotas.
+	Quotas Quotas
+	// RetainedJobs bounds the finished-job registry for /v1/jobs/{id}
+	// (<1 = 256).
+	RetainedJobs int
+	// CacheEntries / CacheBytes bound the driver's artifact cache
+	// (0 = 512 entries, 256 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// Log receives one line per lifecycle event (nil = discard).
+	Log io.Writer
+}
+
+// DefaultQuotas are the per-tenant bounds applied when Config.Quotas is
+// the zero value: enough in-flight work to saturate a small pool,
+// sources bounded at 1 MiB, budgets at the service default.
+var DefaultQuotas = Quotas{
+	MaxInFlight:    8,
+	MaxSourceBytes: 1 << 20,
+	MaxExecWorkers: 8,
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8090"
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2e9
+	}
+	if c.Quotas == (Quotas{}) {
+		c.Quotas = DefaultQuotas
+	}
+	if c.RetainedJobs < 1 {
+		c.RetainedJobs = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Server is one f90yd instance. Construct with New; Close or Drain it
+// when done (New starts the worker pool immediately).
+type Server struct {
+	cfg     Config
+	svc     *driver.Service
+	mux     *http.ServeMux
+	queue   chan *jobState
+	jobs    *jobTable
+	tenants *tenants
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	admitMu  sync.Mutex // guards draining + jobWG.Add vs Drain
+	draining bool
+
+	jobWG       sync.WaitGroup // admitted jobs not yet finished
+	workerWG    sync.WaitGroup
+	stopWorkers chan struct{}
+	stopOnce    sync.Once
+
+	hsMu sync.Mutex
+	hs   *http.Server
+	ln   net.Listener
+
+	stats serverStats
+	start time.Time
+}
+
+// serverStats counts outcomes under one lock; every request increments
+// exactly one status and (for errors) one code.
+type serverStats struct {
+	mu        sync.Mutex
+	admitted  int64
+	completed int64
+	byStatus  map[int]int64
+	byCode    map[Code]int64
+	// ewmaRunNS is an exponentially-weighted run duration used for the
+	// Retry-After estimate; 0 until the first completion.
+	ewmaRunNS float64
+}
+
+func (st *serverStats) note(status int, code Code) {
+	st.mu.Lock()
+	st.byStatus[status]++
+	if code != "" {
+		st.byCode[code]++
+	}
+	st.mu.Unlock()
+}
+
+func (st *serverStats) noteRun(d time.Duration) {
+	st.mu.Lock()
+	st.completed++
+	ns := float64(d.Nanoseconds())
+	if st.ewmaRunNS == 0 {
+		st.ewmaRunNS = ns
+	} else {
+		st.ewmaRunNS = 0.8*st.ewmaRunNS + 0.2*ns
+	}
+	st.mu.Unlock()
+}
+
+// New builds the server and starts its worker pool. The HTTP side is
+// inert until the handler is served (Handler / ListenAndServe).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	svc := driver.New(cfg.Workers)
+	svc.MaxCycles = cfg.MaxCycles
+	svc.ExecWorkers = cfg.ExecWorkers
+	svc.MaxCacheEntries = cfg.CacheEntries
+	svc.MaxCacheBytes = cfg.CacheBytes
+
+	s := &Server{
+		cfg:         cfg,
+		svc:         svc,
+		queue:       make(chan *jobState, cfg.QueueDepth),
+		jobs:        newJobTable(cfg.RetainedJobs),
+		tenants:     newTenants(cfg.Quotas),
+		stopWorkers: make(chan struct{}),
+		start:       time.Now(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.stats.byStatus = map[int]int64{}
+	s.stats.byCode = map[Code]int64{}
+	s.mux = s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Service exposes the underlying driver (tests and stats).
+func (s *Server) Service() *driver.Service { return s.svc }
+
+// Handler is the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds cfg.Addr and serves until Drain/Close. The
+// bound address (useful with ":0") is reported through addr, if
+// non-nil, before serving starts.
+func (s *Server) ListenAndServe(addr func(net.Addr)) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.hsMu.Lock()
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	hs := s.hs
+	s.hsMu.Unlock()
+	if addr != nil {
+		addr(ln.Addr())
+	}
+	fmt.Fprintf(s.cfg.Log, "f90yd: listening on %s (workers=%d queue=%d)\n",
+		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// worker executes admitted jobs until the pool is stopped. Workers are
+// only stopped after the queue has fully drained (Drain waits jobWG
+// first), so no admitted job is abandoned.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case js := <-s.queue:
+			s.runJob(js)
+		case <-s.stopWorkers:
+			return
+		}
+	}
+}
+
+// admit runs the admission pipeline for a registered job: drain gate,
+// tenant quota, bounded queue. A nil error admits the job (the caller
+// must not touch it again until done); otherwise the returned status/
+// envelope reject it and the job is unregistered.
+func (s *Server) admit(js *jobState) (int, apiError) {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		s.jobs.drop(js)
+		return http.StatusServiceUnavailable, errorf(CodeDraining, "server is draining; not admitting new jobs")
+	}
+	if !s.tenants.acquire(js.tenant) {
+		s.admitMu.Unlock()
+		s.jobs.drop(js)
+		e := errorf(CodeTenantBusy, "tenant %q is at its in-flight quota (%d)", js.tenant, s.cfg.Quotas.MaxInFlight)
+		e.Error.RetryAfterMS = s.retryAfter().Milliseconds()
+		return http.StatusTooManyRequests, e
+	}
+	s.jobWG.Add(1)
+	select {
+	case s.queue <- js:
+		s.admitMu.Unlock()
+		s.stats.mu.Lock()
+		s.stats.admitted++
+		s.stats.mu.Unlock()
+		return 0, apiError{}
+	default:
+		s.jobWG.Done()
+		s.admitMu.Unlock()
+		s.tenants.release(js.tenant)
+		s.jobs.drop(js)
+		e := errorf(CodeQueueFull, "admission queue is full (depth %d)", s.cfg.QueueDepth)
+		e.Error.RetryAfterMS = s.retryAfter().Milliseconds()
+		return http.StatusTooManyRequests, e
+	}
+}
+
+// retryAfter estimates when a rejected caller should come back: the
+// queue's expected service time on the current pool, floored at one
+// second. It is a hint, not a promise.
+func (s *Server) retryAfter() time.Duration {
+	s.stats.mu.Lock()
+	avg := time.Duration(s.stats.ewmaRunNS)
+	s.stats.mu.Unlock()
+	if avg <= 0 {
+		avg = 250 * time.Millisecond
+	}
+	est := time.Duration(len(s.queue)+1) * avg / time.Duration(s.cfg.Workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// runJob executes one admitted job end to end: deadline, driver run,
+// optional oracle verify, classification, accounting, retention.
+func (s *Server) runJob(js *jobState) {
+	js.mu.Lock()
+	js.status = JobRunning
+	js.started = time.Now()
+	js.mu.Unlock()
+
+	timeout := s.cfg.RequestTimeout
+	if js.timeout > 0 && js.timeout < timeout {
+		timeout = js.timeout
+	}
+	ctx, cancel := context.WithTimeout(js.ctx, timeout)
+
+	status, code, errMsg, result, cached := s.execute(ctx, js)
+	cancel()
+	js.cancel(nil) // release the job's cause context
+
+	js.mu.Lock()
+	js.cached = cached
+	started := js.started
+	js.mu.Unlock()
+	js.finish(status, code, errMsg, result)
+
+	s.stats.noteRun(time.Since(started))
+	s.stats.note(status, code)
+	s.tenants.release(js.tenant)
+	s.jobs.retire(js)
+	s.jobWG.Done()
+}
+
+// Drain gracefully shuts the server down: stop admitting (new jobs and
+// readyz get 503), wait for in-flight jobs to finish — past ctx's
+// deadline they are killed through the context plumbing with cause
+// ErrDraining — then stop the workers and close the listener. It
+// returns the final stats snapshot; safe to call once.
+func (s *Server) Drain(ctx context.Context) Stats {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	fmt.Fprintf(s.cfg.Log, "f90yd: draining (in-flight jobs finishing)\n")
+
+	done := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		fmt.Fprintf(s.cfg.Log, "f90yd: drain grace expired; killing in-flight jobs\n")
+		s.baseCancel(ErrDraining)
+		<-done
+	}
+
+	s.stopOnce.Do(func() { close(s.stopWorkers) })
+	s.workerWG.Wait()
+
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(sctx)
+		cancel()
+	}
+	st := s.Stats()
+	fmt.Fprintf(s.cfg.Log, "f90yd: drained (admitted=%d completed=%d)\n", st.Jobs.Admitted, st.Jobs.Completed)
+	return st
+}
+
+// Close is Drain with no grace period: in-flight jobs are killed
+// immediately.
+func (s *Server) Close() Stats {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Drain(ctx)
+}
+
+// Stats is the /statsz snapshot (schema f90y-statsz/v1).
+type Stats struct {
+	Schema   string `json:"schema"`
+	UptimeMS int64  `json:"uptime_ms"`
+	Draining bool   `json:"draining"`
+	Workers  int    `json:"workers"`
+	Queue    struct {
+		Len int `json:"len"`
+		Cap int `json:"cap"`
+	} `json:"queue"`
+	InFlight struct {
+		Queued  int `json:"queued"`
+		Running int `json:"running"`
+	} `json:"in_flight"`
+	Jobs struct {
+		Admitted  int64            `json:"admitted"`
+		Completed int64            `json:"completed"`
+		ByStatus  map[string]int64 `json:"by_status"`
+		ByCode    map[string]int64 `json:"by_code"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Entries   int   `json:"entries"`
+		Bytes     int64 `json:"bytes"`
+		Evictions int64 `json:"evictions"`
+	} `json:"cache"`
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// Stats assembles the snapshot.
+func (s *Server) Stats() Stats {
+	var st Stats
+	st.Schema = "f90y-statsz/v1"
+	st.UptimeMS = time.Since(s.start).Milliseconds()
+	s.admitMu.Lock()
+	st.Draining = s.draining
+	s.admitMu.Unlock()
+	st.Workers = s.cfg.Workers
+	st.Queue.Len = len(s.queue)
+	st.Queue.Cap = s.cfg.QueueDepth
+	st.InFlight.Queued, st.InFlight.Running = s.jobs.counts()
+
+	s.stats.mu.Lock()
+	st.Jobs.Admitted = s.stats.admitted
+	st.Jobs.Completed = s.stats.completed
+	st.Jobs.ByStatus = map[string]int64{}
+	for code, n := range s.stats.byStatus {
+		st.Jobs.ByStatus[fmt.Sprintf("%d", code)] = n
+	}
+	st.Jobs.ByCode = map[string]int64{}
+	for c, n := range s.stats.byCode {
+		st.Jobs.ByCode[string(c)] = n
+	}
+	s.stats.mu.Unlock()
+
+	st.Cache.Hits, st.Cache.Misses = s.svc.CacheStats()
+	st.Cache.Entries, st.Cache.Bytes, st.Cache.Evictions = s.svc.CacheUsage()
+	st.Tenants = s.tenants.snapshot()
+	return st
+}
+
+// writeJSON writes v with status, counting it in stats when counted.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
