@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke serve-smoke loadtest fuzz-smoke profile-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
+.PHONY: check vet build test race smoke serve-smoke loadtest fuzz-smoke profile-smoke layout-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
@@ -8,9 +8,11 @@ GO ?= go
 # benchmark smoke runs (serial and batch mode), a short fuzz of the
 # front end, the fault-plane determinism tests, a short fault-invariance
 # soak through the differential oracle, an end-to-end smoke of the
-# source-line cycle profiler's three artifact formats, and the f90yd
-# server lifecycle smoke (start, load, overload, SIGTERM drain).
-check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke serve-smoke
+# source-line cycle profiler's three artifact formats, the !HPF$
+# distribution-plane layout sweep (oracle-verified, deterministic, and
+# the layout choice must matter), and the f90yd server lifecycle smoke
+# (start, load, overload, SIGTERM drain).
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke layout-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +83,13 @@ profile-smoke:
 	$(GO) tool pprof -top .profile-smoke.pb.gz > /dev/null
 	test -s .profile-smoke.folded
 	rm -f .profile-smoke.pb.gz .profile-smoke.folded
+
+# Distribution-plane smoke: the swebench layout sweep with every
+# kernel/layout pair oracle-verified, record determinism across runs,
+# at least one kernel whose best layout is not all-BLOCK, and a >= 2x
+# worst/best cycle spread (see EXPERIMENTS.md E2').
+layout-smoke:
+	./scripts/layout_smoke.sh
 
 # Fault-plane invariants: zero overhead with no plan attached, and
 # bit-identical replay of the same seed.

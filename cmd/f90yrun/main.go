@@ -8,7 +8,15 @@
 //	        [-profile] [-profile-pprof swe.pb.gz] [-profile-folded swe.folded]
 //	        [-timeout 30s] [-max-cycles N] [-numeric off|trap|record]
 //	        [-exec-workers N] [-faults spec] [-checkpoint-every N]
-//	        [-checkpoint ckpt.json] [-resume ckpt.json] file.f90
+//	        [-checkpoint ckpt.json] [-resume ckpt.json]
+//	        [-distribute a=cyclic]... file.f90
+//
+// -distribute overrides an array's data distribution without editing
+// the source (repeatable; same specs as !HPF$ DISTRIBUTE, e.g.
+// "a=cyclic", "b=block,cyclic(2)", "c=*,block"). Source-level !HPF$
+// directives need no flag — they are part of the program. The
+// overrides apply to the measured run; -verify exercises the source as
+// written, so put directives in the source to verify a layout.
 //
 // With -verify the program is run through the differential oracle
 // (internal/oracle): the reference interpreter and BOTH machine
@@ -65,6 +73,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"f90y"
 	"f90y/internal/cm5"
@@ -91,7 +100,22 @@ var (
 	flagProf    = flag.Bool("profile", false, "print the source-annotated cycle profile (hot lines + listing) to stdout")
 	flagProfPB  = flag.String("profile-pprof", "", "write a pprof protobuf profile (open with go tool pprof)")
 	flagProfFG  = flag.String("profile-folded", "", "write folded stacks for flamegraph tooling")
+	flagDist    distributeFlags
 )
+
+// distributeFlags collects the repeatable -distribute overrides.
+type distributeFlags []string
+
+func (d *distributeFlags) String() string { return strings.Join(*d, " ") }
+func (d *distributeFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func init() {
+	flag.Var(&flagDist, "distribute",
+		"override an array's data distribution, array=spec (repeatable), e.g. a=cyclic or b=block,cyclic(2)")
+}
 
 // fail reports a run error; an injected fatal fault or a budget kill
 // points at the checkpoint so the user knows the run is resumable, and
@@ -135,6 +159,7 @@ func main() {
 	cfg := f90y.DefaultConfig()
 	cfg.Machine.PEs = *flagPEs
 	cfg.Obs = tel.Recorder()
+	cfg.Distribute = flagDist
 
 	ctl, err := driver.ControlOptions{
 		Faults:          *flagFaults,

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"f90y/internal/driver"
+)
+
+// TestLayoutRecordDeterministicAndConsistent builds the layout-sweep
+// record twice (with oracle verification on the second pass) and
+// checks the invariants the smoke script and EXPERIMENTS.md rely on:
+// identical modeled fields across runs, grid+router+reduce summing
+// exactly to each row's comm_cycles, and per-kernel best/spread
+// consistent with the rows.
+func TestLayoutRecordDeterministicAndConsistent(t *testing.T) {
+	const n, iters = 4096, 2
+	a, err := buildLayoutRecord(driver.New(1), n, iters, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildLayoutRecord(driver.New(1), n, iters, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verification flips only the per-row verified marker.
+	for ki := range b.Kernels {
+		for ri := range b.Kernels[ki].Rows {
+			if !b.Kernels[ki].Rows[ri].Verified {
+				t.Errorf("%s/%s: verified sweep left row unmarked",
+					b.Kernels[ki].Kernel, b.Kernels[ki].Rows[ri].Layout)
+			}
+			b.Kernels[ki].Rows[ri].Verified = false
+		}
+	}
+	aj, bj := renderAny(t, a), renderAny(t, b)
+	if aj != bj {
+		t.Errorf("layout record differs across runs:\n%s\nvs\n%s", aj, bj)
+	}
+
+	if len(a.Kernels) != 3 {
+		t.Fatalf("sweep covered %d kernels, want 3", len(a.Kernels))
+	}
+	for _, k := range a.Kernels {
+		if len(k.Rows) != 3 {
+			t.Fatalf("%s: %d rows, want 3 (block, cyclic, aligned)", k.Kernel, len(k.Rows))
+		}
+		best, worst := k.Rows[0], k.Rows[0]
+		for _, r := range k.Rows {
+			if got, want := r.Grid+r.Router+r.Reduce, r.CommCycles; got != want {
+				t.Errorf("%s/%s: class split %v != comm_cycles %v", k.Kernel, r.Layout, got, want)
+			}
+			if r.Cycles < best.Cycles {
+				best = r
+			}
+			if r.Cycles > worst.Cycles {
+				worst = r
+			}
+		}
+		if k.BestLayout != best.Layout {
+			t.Errorf("%s: best_layout %q, cheapest row is %q", k.Kernel, k.BestLayout, best.Layout)
+		}
+		if got := worst.Cycles / best.Cycles; got != k.Spread {
+			t.Errorf("%s: spread %v, rows say %v", k.Kernel, k.Spread, got)
+		}
+	}
+}
+
+func renderAny(t *testing.T, rec any) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := writeRecordTo(&b, rec); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

@@ -9,6 +9,8 @@
 //	swebench -json [-parallel N] [-o BENCH_swe.json] [-n 1024] [-steps 4]
 //	         [-profile] [-profile-pprof swe.pb.gz] [-profile-folded swe.folded]
 //	swebench -bench-batch [-parallel N] [-o BENCH_batch.json]
+//	swebench -layout-sweep [-layout-n 65536] [-layout-iters 2]
+//	         [-layout-verify] [-o BENCH_layout.json]
 //	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
 //	swebench -serve-url http://127.0.0.1:8090 [-load 64] [-load-workers 8]
 //	         [-serve-wait 10s] [-o LOAD_swe.json]
@@ -41,6 +43,14 @@
 // With -bench-batch the whole suite is timed twice — serial, then on
 // the parallel pool — and a "f90y-batch/v1" record comparing the two
 // wall-clocks is written to -o (default BENCH_batch.json).
+//
+// With -layout-sweep the router-heavy kernel trio (transpose, FFT
+// butterfly, irregular gather) runs under BLOCK / CYCLIC / ALIGN'd
+// !HPF$ data distributions and a deterministic "f90y-layout/v1" record
+// (per-layout cycles, NEWS/router/reduce split, best layout, spread)
+// is written to -o (default BENCH_layout_n<N>_i<iters>.json; see
+// layout.go). -layout-verify first pushes every (kernel, layout) pair
+// through the differential oracle at a reduced size.
 //
 // With -soak N the suite's kernels are verified through the
 // differential oracle and chaos-soaked across N seeds x fault plans x
@@ -97,6 +107,10 @@ var (
 	flagProf       = flag.Bool("profile", false, "with -json: print the SWE run's source-annotated cycle profile to stdout")
 	flagProfPB     = flag.String("profile-pprof", "", "with -json: write the SWE run's pprof protobuf profile")
 	flagProfFG     = flag.String("profile-folded", "", "with -json: write the SWE run's folded stacks for flamegraph tooling")
+	flagLayout     = flag.Bool("layout-sweep", false, "sweep the kernel trio across !HPF$ data distributions and write a f90y-layout/v1 record")
+	flagLayoutN    = flag.Int("layout-n", 65536, "with -layout-sweep: problem size (elements)")
+	flagLayoutIter = flag.Int("layout-iters", 2, "with -layout-sweep: kernel iterations")
+	flagLayoutVer  = flag.Bool("layout-verify", false, "with -layout-sweep: oracle-verify each (kernel, layout) pair at a reduced size first")
 )
 
 // execWorkers normalizes the -exec-workers flag: explicit serial (1)
@@ -148,6 +162,12 @@ func main() {
 		}
 		if failures > 0 {
 			os.Exit(1)
+		}
+		return
+	}
+	if *flagLayout {
+		if err := runLayoutSweep(os.Stdout, *flagOut, *flagLayoutN, *flagLayoutIter, *flagLayoutVer); err != nil {
+			die(err)
 		}
 		return
 	}

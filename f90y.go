@@ -63,6 +63,12 @@ type Config struct {
 	// counters. nil disables recording at the cost of one branch per
 	// instrumented call site; use an *obs.Collector to record.
 	Obs obs.Recorder
+	// Distribute overrides or supplies per-array data distributions
+	// without editing the source: each spec is "array=fmt,fmt,..."
+	// using the !HPF$ DISTRIBUTE dimension-format grammar, e.g.
+	// "a=block,cyclic(2)". Specs are validated like source directives
+	// and take precedence over them. Part of the compile-cache key.
+	Distribute []string
 }
 
 // DefaultConfig is the fully optimizing Fortran-90-Y configuration.
@@ -178,6 +184,23 @@ func CompileCtx(ctx context.Context, filename, src string, cfg Config) (*Compila
 		return err
 	}); err != nil {
 		return nil, err
+	}
+
+	// Distribution plane: validate !HPF$ directives and stamp per-array
+	// distributions onto the symbol table. Skipped entirely for
+	// directive-free programs with no overrides, so their phase lists
+	// and artifacts are bit-identical to the pre-directive compiler.
+	if len(tree.Directives) > 0 || len(cfg.Distribute) > 0 {
+		if err := phaseCtx("hpf"); err != nil {
+			return nil, err
+		}
+		if err := guard(filename, "hpf", func() error {
+			span := obs.Start(rec, "hpf")
+			defer span.End()
+			return fe.ApplyDirectives(tree, mod.Syms, cfg.Distribute)
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	var omod *lower.Module

@@ -34,9 +34,51 @@ func (k BaseKind) String() string {
 
 // Program is a single main program unit.
 type Program struct {
-	Name  string
-	Decls []*Decl
-	Body  []Stmt
+	Name       string
+	Decls      []*Decl
+	Body       []Stmt
+	Directives []*Directive // !HPF$ comment directives, in source order
+	Pos        source.Pos
+}
+
+// DirKind classifies an !HPF$ compiler directive.
+type DirKind int
+
+// Directive kinds.
+const (
+	DirProcessors DirKind = iota // !HPF$ PROCESSORS p(4,8)
+	DirDistribute                // !HPF$ DISTRIBUTE a(BLOCK, CYCLIC) [ONTO p]
+	DirAlign                     // !HPF$ ALIGN b WITH a
+)
+
+func (k DirKind) String() string {
+	switch k {
+	case DirProcessors:
+		return "PROCESSORS"
+	case DirDistribute:
+		return "DISTRIBUTE"
+	case DirAlign:
+		return "ALIGN"
+	}
+	return "unknown directive"
+}
+
+// DistSpec is one dimension of a DISTRIBUTE directive's format list.
+type DistSpec struct {
+	Kind string // "block", "cyclic", or "*"
+	K    int    // chunk size for cyclic(k); 0 means element cyclic
+}
+
+// Directive is one parsed !HPF$ comment directive. Fields beyond Kind,
+// Name, and Pos are populated per kind: Ints for PROCESSORS extents,
+// Dists/Onto for DISTRIBUTE, With for ALIGN.
+type Directive struct {
+	Kind  DirKind
+	Name  string     // processors-grid name, or the distributed/aligned array
+	Ints  []int      // PROCESSORS grid extents
+	Dists []DistSpec // DISTRIBUTE per-dimension formats
+	With  string     // ALIGN ... WITH template
+	Onto  string     // DISTRIBUTE ... ONTO processors grid
 	Pos   source.Pos
 }
 

@@ -129,6 +129,11 @@ type Result struct {
 	// CommClassCycles attributes CommCycles per runtime network
 	// (rt.CommGrid, rt.CommRouter, rt.CommReduce).
 	CommClassCycles map[string]float64
+	// CommLineCycles attributes CommCycles per (source line, network
+	// class) cell under the rt.CommRoutine pseudo-routine; its values
+	// sum exactly to CommCycles. Merge with PELineCycles (see
+	// rt.MergeLineMaps) for a whole-machine per-line profile.
+	CommLineCycles map[rt.LineRef]float64
 	// HostClassCycles attributes HostCycles per front-end activity
 	// (hostvm.HostIssue, HostScalar, HostElem, HostDispatch, and
 	// HostStall when stalls were injected).
@@ -252,6 +257,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 	for _, cl := range rt.CommClasses {
 		res.CommClassCycles[cl] = comm.ClassCycles[cl]
 	}
+	res.CommLineCycles = rt.CopyLineMap(comm.LineCycles)
 	res.Faults = inj.Stats()
 	res.emit(rec)
 	return res, nil
@@ -332,7 +338,7 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 	if over == nil {
 		return fmt.Errorf("cm2: node routine %s without a shape: %w", r.Name, ErrDispatch)
 	}
-	layout := shape.Blockwise(over, m.PEs)
+	layout := shape.Distribute(over, m.PEs, r.Dist)
 	sub := layout.SubgridSize()
 	if inj != nil {
 		if err := m.injectDispatch(r, sub, res, inj); err != nil {

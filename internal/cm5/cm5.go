@@ -27,6 +27,7 @@ import (
 	"f90y/internal/hostvm"
 	"f90y/internal/nir"
 	"f90y/internal/obs"
+	"f90y/internal/partition"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
 	"f90y/internal/shape"
@@ -174,6 +175,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 	for _, cl := range rt.CommClasses {
 		res.CommClassCycles[cl] = comm.ClassCycles[cl]
 	}
+	res.CommLineCycles = rt.CopyLineMap(comm.LineCycles)
 	// The SPARC issue time is its own attribution class so the
 	// breakdown sums exactly to PECycles; degradation likewise.
 	res.PEClassCycles["sparc-issue"] = res.SPARCCycles
@@ -264,8 +266,8 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 	if over == nil {
 		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
-	layout := shape.Blockwise(over, m.Nodes)
-	nodeSub := layout.SubgridSize()
+	layout := shape.Distribute(over, m.Nodes, r.Dist)
+	nodeSub := partition.NodeSubgridSize(layout)
 	perVU := (nodeSub + m.VUsPerNode - 1) / m.VUsPerNode
 
 	sparc := m.NodeSetup + float64(len(r.Params))*2

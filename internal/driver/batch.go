@@ -10,6 +10,7 @@ import (
 	"f90y/internal/cm5"
 	"f90y/internal/obs"
 	"f90y/internal/obs/profile"
+	"f90y/internal/rt"
 )
 
 // Job is one compile+run request. Config.Obs is the job's private
@@ -55,14 +56,18 @@ func (r *RunResult) Result() *cm2.Result {
 }
 
 // Profile builds the job's source-line cycle profile from the result's
-// attribution, with the job's own source attached for the annotated
-// view. Nil when the job failed or its target recorded no attribution.
+// attribution — the PE attribution overlaid with the communication
+// network's (router and NEWS cycles appear under the rt.CommRoutine
+// pseudo-routine with their own "grid"/"router"/"reduce" classes) —
+// with the job's own source attached for the annotated view. Nil when
+// the job failed or its target recorded no attribution.
 func (r *RunResult) Profile() *profile.Profile {
 	res := r.Result()
-	if res == nil || len(res.PELineCycles) == 0 {
+	if res == nil || (len(res.PELineCycles) == 0 && len(res.CommLineCycles) == 0) {
 		return nil
 	}
-	return profile.New(res.PELineCycles, map[string]string{r.Job.File: r.Job.Source})
+	lines := rt.MergeLineMaps(res.PELineCycles, res.CommLineCycles)
+	return profile.New(lines, map[string]string{r.Job.File: r.Job.Source})
 }
 
 // Run compiles (through the cache) and executes one job under ctx.

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"f90y"
@@ -61,10 +62,18 @@ func KeyOf(src string, cfg f90y.Config) Key {
 // when the meaning of an existing field changes.
 func Fingerprint(cfg f90y.Config) string {
 	o, p := cfg.Opt, cfg.PE
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"fp1|opt:pad=%t,block=%t|pe:cse=%t,chain=%t,fmadd=%t,overlap=%t,vregs=%d",
 		o.PadSections, o.BlockDomains,
 		p.CSE, p.Chaining, p.Fmadd, p.Overlap, p.VRegs)
+	// Distribution overrides change the partitioned program (layout
+	// stamps, comm classification), so they are part of the key. The
+	// empty case renders nothing, keeping every pre-existing key byte
+	// stable.
+	if len(cfg.Distribute) > 0 {
+		fp += "|dist:" + strings.Join(cfg.Distribute, ";")
+	}
+	return fp
 }
 
 // Artifact is one cached compilation: the full pipeline output, shared

@@ -40,6 +40,15 @@ func TestFingerprintGolden(t *testing.T) {
 			f90y.Config{Opt: opt.Options{PadSections: true}, PE: pe.Options{CSE: true, VRegs: 4}},
 			"fp1|opt:pad=true,block=false|pe:cse=true,chain=false,fmadd=false,overlap=false,vregs=4",
 		},
+		{
+			"distribute",
+			func() f90y.Config {
+				c := f90y.DefaultConfig()
+				c.Distribute = []string{"a=cyclic", "b=block,cyclic(2)"}
+				return c
+			}(),
+			"fp1|opt:pad=true,block=true|pe:cse=true,chain=true,fmadd=true,overlap=true,vregs=0|dist:a=cyclic;b=block,cyclic(2)",
+		},
 	}
 	for _, c := range cases {
 		if got := Fingerprint(c.cfg); got != c.want {
@@ -61,6 +70,11 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		t.Errorf("pe.Options has %d fields; Fingerprint renders 5 — "+
 			"add the new field to Fingerprint (and the golden test) or exclude it deliberately, then update this count", n)
 	}
+	if n := reflect.TypeOf(f90y.Config{}).NumField(); n != 5 {
+		t.Errorf("f90y.Config has %d fields; Fingerprint accounts for 5 "+
+			"(Opt, PE, Distribute rendered; Machine, Obs deliberately excluded) — "+
+			"decide whether the new field belongs in the cache key, then update this count", n)
+	}
 }
 
 // TestFingerprintDistinguishesConfigs spot-checks that every rendered
@@ -75,6 +89,8 @@ func TestFingerprintDistinguishesConfigs(t *testing.T) {
 		{Opt: base.Opt, PE: pe.Options{CSE: true, Chaining: true, Fmadd: false, Overlap: true}},
 		{Opt: base.Opt, PE: pe.Options{CSE: true, Chaining: true, Fmadd: true, Overlap: false}},
 		{Opt: base.Opt, PE: pe.Options{CSE: true, Chaining: true, Fmadd: true, Overlap: true, VRegs: 6}},
+		{Opt: base.Opt, PE: base.PE, Distribute: []string{"a=cyclic"}},
+		{Opt: base.Opt, PE: base.PE, Distribute: []string{"a=cyclic(4)"}},
 	}
 	want := Fingerprint(base)
 	seen := map[string]bool{want: true}

@@ -12,8 +12,10 @@ import (
 
 // TestRunResultProfileConservesCycles runs a job through the service on
 // both targets and checks the profile layer end to end: attribution
-// total equals the modeled PE cycle total exactly, and the ProfileOptions
-// emitter renders all three artifacts from it.
+// total equals the modeled PE-plus-communication cycle total exactly
+// (the profile overlays the network's per-line attribution onto the PE
+// attribution), and the ProfileOptions emitter renders all three
+// artifacts from it.
 func TestRunResultProfileConservesCycles(t *testing.T) {
 	svc := New(1)
 	src := workload.SWE(32, 2)
@@ -29,8 +31,8 @@ func TestRunResultProfileConservesCycles(t *testing.T) {
 		if p == nil {
 			t.Fatalf("%s: no profile from a successful run", target)
 		}
-		if got, want := p.Total(), res.Result().PECycles; got != want {
-			t.Errorf("%s: profile total %v, PECycles %v (attribution must conserve cycles)", target, got, want)
+		if got, want := p.Total(), res.Result().PECycles+res.Result().CommCycles; got != want {
+			t.Errorf("%s: profile total %v, PECycles+CommCycles %v (attribution must conserve cycles)", target, got, want)
 		}
 
 		var text, log bytes.Buffer

@@ -1,0 +1,208 @@
+package fe
+
+import (
+	"strings"
+
+	"f90y/internal/ast"
+	"f90y/internal/lower"
+	"f90y/internal/shape"
+	"f90y/internal/source"
+)
+
+// This file is the semantic half of the distribution plane's front end:
+// it validates a program's !HPF$ directives against the lowered symbol
+// table and stamps the resulting per-array shape.Distribution onto each
+// array symbol, from which the partitioner and both machine models read
+// it. Directives are advisory in HPF; here they are checked strictly —
+// unknown arrays, rank mismatches, and conflicting directives are
+// compile errors with source positions.
+
+// ApplyDirectives validates prog's !HPF$ directives, applies any
+// compiler-level override specs (each "array=fmt,fmt,..." using the
+// DISTRIBUTE format grammar, e.g. "a=block,cyclic(2)"; overrides win
+// over source directives), resolves ALIGN chains, and stamps the
+// resulting distribution onto the array symbols in syms.
+func ApplyDirectives(prog *ast.Program, syms *lower.SymTab, overrides []string) error {
+	var rep source.Reporter
+	procs := map[string][]int{}            // PROCESSORS grids by name
+	dist := map[string]*ast.Directive{}    // DISTRIBUTE by array
+	aligned := map[string]*ast.Directive{} // ALIGN by array
+
+	lookupArray := func(d *ast.Directive, name string) bool {
+		sym, ok := syms.Lookup(name)
+		if !ok {
+			rep.Errorf("hpf", d.Pos, "!HPF$ %v names unknown array %q", d.Kind, name)
+			return false
+		}
+		if sym.Shape == nil {
+			rep.Errorf("hpf", d.Pos, "!HPF$ %v target %q is a scalar, not an array", d.Kind, name)
+			return false
+		}
+		return true
+	}
+
+	for _, d := range prog.Directives {
+		switch d.Kind {
+		case ast.DirProcessors:
+			if _, dup := procs[d.Name]; dup {
+				rep.Errorf("hpf", d.Pos, "duplicate !HPF$ PROCESSORS grid %q", d.Name)
+				continue
+			}
+			ok := true
+			for _, e := range d.Ints {
+				if e < 1 {
+					rep.Errorf("hpf", d.Pos, "!HPF$ PROCESSORS %s: extent %d is not positive", d.Name, e)
+					ok = false
+				}
+			}
+			if ok {
+				procs[d.Name] = d.Ints
+			}
+		case ast.DirDistribute:
+			if !lookupArray(d, d.Name) {
+				continue
+			}
+			if prev, dup := dist[d.Name]; dup {
+				rep.Errorf("hpf", d.Pos, "conflicting !HPF$ DISTRIBUTE for %q (first at %v)", d.Name, prev.Pos)
+				continue
+			}
+			if prev, dup := aligned[d.Name]; dup {
+				rep.Errorf("hpf", d.Pos, "%q is already ALIGN'd (at %v); DISTRIBUTE conflicts", d.Name, prev.Pos)
+				continue
+			}
+			sym, _ := syms.Lookup(d.Name)
+			if rank := len(shape.Extents(sym.Shape)); rank != len(d.Dists) {
+				rep.Errorf("hpf", d.Pos, "!HPF$ DISTRIBUTE %s has %d dimension formats, array has rank %d",
+					d.Name, len(d.Dists), rank)
+				continue
+			}
+			dist[d.Name] = d
+		case ast.DirAlign:
+			if !lookupArray(d, d.Name) || !lookupArray(d, d.With) {
+				continue
+			}
+			if d.Name == d.With {
+				rep.Errorf("hpf", d.Pos, "!HPF$ ALIGN %s WITH itself", d.Name)
+				continue
+			}
+			if prev, dup := aligned[d.Name]; dup {
+				rep.Errorf("hpf", d.Pos, "conflicting !HPF$ ALIGN for %q (first at %v)", d.Name, prev.Pos)
+				continue
+			}
+			if prev, dup := dist[d.Name]; dup {
+				rep.Errorf("hpf", d.Pos, "%q is already DISTRIBUTE'd (at %v); ALIGN conflicts", d.Name, prev.Pos)
+				continue
+			}
+			aligned[d.Name] = d
+		}
+	}
+
+	// ONTO references must name a declared PROCESSORS grid of matching
+	// rank (the grid only constrains geometry; the greedy splitter
+	// still decides the factorization, so ONTO is validated shape-wise).
+	for _, d := range dist {
+		if d.Onto == "" {
+			continue
+		}
+		grid, ok := procs[d.Onto]
+		if !ok {
+			rep.Errorf("hpf", d.Pos, "!HPF$ DISTRIBUTE %s ONTO unknown PROCESSORS grid %q", d.Name, d.Onto)
+			continue
+		}
+		if len(grid) > len(d.Dists) {
+			rep.Errorf("hpf", d.Pos, "!HPF$ DISTRIBUTE %s ONTO %s: grid rank %d exceeds array rank %d",
+				d.Name, d.Onto, len(grid), len(d.Dists))
+		}
+	}
+
+	// Compiler-level overrides, applied after (and over) source
+	// directives. They have no source position of their own.
+	overridden := map[string]shape.Distribution{}
+	for _, spec := range overrides {
+		name, fmts, ok := strings.Cut(spec, "=")
+		name = strings.ToLower(strings.TrimSpace(name))
+		if !ok || name == "" {
+			rep.Errorf("hpf", source.Pos{File: "<distribute>"}, "bad distribution override %q (want array=fmt,fmt,...)", spec)
+			continue
+		}
+		sym, found := syms.Lookup(name)
+		if !found || sym.Shape == nil {
+			rep.Errorf("hpf", source.Pos{File: "<distribute>"}, "distribution override %q names unknown array %q", spec, name)
+			continue
+		}
+		d, err := shape.ParseDist(fmts)
+		if err != nil {
+			rep.Errorf("hpf", source.Pos{File: "<distribute>"}, "bad distribution override %q: %v", spec, err)
+			continue
+		}
+		if rank := len(shape.Extents(sym.Shape)); rank != len(d.Dims) {
+			rep.Errorf("hpf", source.Pos{File: "<distribute>"},
+				"distribution override %q has %d dimension formats, array has rank %d", spec, len(d.Dims), rank)
+			continue
+		}
+		overridden[name] = d
+	}
+
+	if rep.HasErrors() {
+		return rep.Err()
+	}
+
+	// resolve returns the distribution of an array, following ALIGN
+	// chains to their root. A chain longer than the alignment count has
+	// a cycle.
+	var resolve func(name string, depth int, at *ast.Directive) (shape.Distribution, bool)
+	resolve = func(name string, depth int, at *ast.Directive) (shape.Distribution, bool) {
+		if d, ok := overridden[name]; ok {
+			return d, true
+		}
+		if a, ok := aligned[name]; ok {
+			if depth > len(aligned) {
+				rep.Errorf("hpf", at.Pos, "!HPF$ ALIGN cycle through %q", name)
+				return shape.Distribution{}, false
+			}
+			tgt, ok := resolve(a.With, depth+1, a)
+			if !ok {
+				return shape.Distribution{}, false
+			}
+			tgt.Align = a.With
+			return tgt, true
+		}
+		if d, ok := dist[name]; ok {
+			return toDistribution(d.Dists), true
+		}
+		return shape.Distribution{}, true // default blockwise
+	}
+
+	for _, sym := range syms.Arrays() {
+		// Aligned arrays must be congruent with their template: the
+		// per-dimension distribution is copied positionally.
+		if a, ok := aligned[sym.Name]; ok {
+			tgt, _ := syms.Lookup(a.With)
+			if tgt != nil && !shape.Congruent(sym.Shape, tgt.Shape) {
+				rep.Errorf("hpf", a.Pos, "cannot ALIGN %s (%v) WITH %s (%v): shapes differ",
+					a.Name, sym.Shape, a.With, tgt.Shape)
+				continue
+			}
+		}
+		d, ok := resolve(sym.Name, 0, nil)
+		if ok {
+			sym.Dist = d
+		}
+	}
+	return rep.Err()
+}
+
+func toDistribution(specs []ast.DistSpec) shape.Distribution {
+	var d shape.Distribution
+	for _, s := range specs {
+		switch s.Kind {
+		case "cyclic":
+			d.Dims = append(d.Dims, shape.DimDist{Kind: shape.DistCyclic, K: s.K})
+		case "*":
+			d.Dims = append(d.Dims, shape.DimDist{Kind: shape.DistStar})
+		default:
+			d.Dims = append(d.Dims, shape.DimDist{Kind: shape.DistBlock})
+		}
+	}
+	return d
+}

@@ -52,6 +52,8 @@ func (m *Machine) evalIntrinsic(e *ast.Index) (result, error) {
 		return m.evalLogicalReduce(e, args)
 	case "transpose":
 		return m.evalTranspose(e, args)
+	case "gather":
+		return m.evalGather(e, args)
 	case "spread":
 		return m.evalSpread(e, args)
 	case "dot_product":
@@ -88,7 +90,7 @@ var intrinsicParams = map[string][]string{
 	"cshift": {"array", "shift", "dim"}, "eoshift": {"array", "shift", "boundary", "dim"},
 	"sum": {"array"}, "product": {"array"}, "maxval": {"array"}, "minval": {"array"},
 	"any": {"mask"}, "all": {"mask"}, "count": {"mask"},
-	"transpose": {"matrix"}, "spread": {"source", "dim", "ncopies"},
+	"transpose": {"matrix"}, "gather": {"array", "index"}, "spread": {"source", "dim", "ncopies"},
 	"dot_product": {"vector_a", "vector_b"}, "size": {"array", "dim"},
 }
 

@@ -204,6 +204,36 @@ func (m *Machine) evalTranspose(e *ast.Index, args map[string]ast.Expr) (result,
 	return arrayResult(out), nil
 }
 
+// evalGather implements GATHER(array, index): result(i) =
+// array(index(i)) for rank-1 array and integer index. Index values are
+// bounds-checked against the array's declared bounds.
+func (m *Machine) evalGather(e *ast.Index, args map[string]ast.Expr) (result, error) {
+	a, err := m.requireArray(e, args["array"], "array argument")
+	if err != nil {
+		return result{}, err
+	}
+	idx, err := m.requireArray(e, args["index"], "index argument")
+	if err != nil {
+		return result{}, err
+	}
+	if a.Rank() != 1 || idx.Rank() != 1 {
+		return result{}, fmt.Errorf("%s: gather requires rank-1 array and index", e.Pos)
+	}
+	if idx.Kind != KInt {
+		return result{}, fmt.Errorf("%s: gather index must be integer", e.Pos)
+	}
+	out := NewArray(a.Kind, idx.Ext, []int{1})
+	for i := 0; i < idx.Size(); i++ {
+		j := int(idx.at(i).AsInt()) - a.Lo[0]
+		if j < 0 || j >= a.Ext[0] {
+			return result{}, fmt.Errorf("%s: gather index %d out of bounds [%d,%d]",
+				e.Pos, j+a.Lo[0], a.Lo[0], a.Lo[0]+a.Ext[0]-1)
+		}
+		out.set(i, a.at(j))
+	}
+	return arrayResult(out), nil
+}
+
 func (m *Machine) evalSpread(e *ast.Index, args map[string]ast.Expr) (result, error) {
 	if args["source"] == nil || args["dim"] == nil || args["ncopies"] == nil {
 		return result{}, fmt.Errorf("%s: spread requires source, dim, ncopies", e.Pos)

@@ -76,6 +76,27 @@ func (l *Lexer) skipToEOL() {
 	}
 }
 
+// isDirectivePrefix reports whether the input at the current '!' begins
+// an HPF directive sentinel "!hpf$" (case-insensitive).
+func (l *Lexer) isDirectivePrefix() bool {
+	const sentinel = "!hpf$"
+	if l.off+len(sentinel) > len(l.src) {
+		return false
+	}
+	return strings.EqualFold(l.src[l.off:l.off+len(sentinel)], sentinel)
+}
+
+// scanDirective consumes "!hpf$ <body>" to end of line and returns a
+// DIRECTIVE token whose Text is the trimmed body.
+func (l *Lexer) scanDirective(pos source.Pos) Token {
+	for i := 0; i < len("!hpf$"); i++ {
+		l.advance()
+	}
+	start := l.off
+	l.skipToEOL()
+	return Token{Kind: DIRECTIVE, Text: strings.TrimSpace(l.src[start:l.off]), Pos: pos}
+}
+
 func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
 func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
 func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
@@ -104,6 +125,12 @@ func (l *Lexer) scan() (Token, bool) {
 	c := l.peek()
 	switch {
 	case c == '!':
+		// Ordinary comments are discarded, but an HPF compiler
+		// directive comment ("!HPF$ ...", case-insensitive) is emitted
+		// as a DIRECTIVE token carrying the directive body.
+		if l.isDirectivePrefix() {
+			return l.scanDirective(pos), true
+		}
 		l.skipToEOL()
 		return Token{}, false
 	case c == '\n':

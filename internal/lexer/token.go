@@ -53,6 +53,8 @@ const (
 
 	TRUE  // .true.
 	FALSE // .false.
+
+	DIRECTIVE // !HPF$ compiler directive; Text holds the directive body
 )
 
 var kindNames = map[Kind]string{
@@ -63,7 +65,7 @@ var kindNames = map[Kind]string{
 	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", POW: "**", CONCAT: "//",
 	EQ: "==", NE: "/=", LT: "<", LE: "<=", GT: ">", GE: ">=",
 	AND: ".and.", OR: ".or.", NOT: ".not.", EQV: ".eqv.", NEQV: ".neqv.",
-	TRUE: ".true.", FALSE: ".false.",
+	TRUE: ".true.", FALSE: ".false.", DIRECTIVE: "!HPF$ directive",
 }
 
 func (k Kind) String() string {
@@ -85,7 +87,7 @@ type Token struct {
 
 func (t Token) String() string {
 	switch t.Kind {
-	case IDENT, INT, REAL, STRING:
+	case IDENT, INT, REAL, STRING, DIRECTIVE:
 		return t.Kind.String() + " " + t.Text
 	default:
 		return t.Kind.String()

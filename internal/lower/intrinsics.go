@@ -52,6 +52,7 @@ func init() {
 		"all":         logicalReduction("cm_reduce_all", nir.Logical32),
 		"count":       logicalReduction("cm_reduce_count", nir.Integer32),
 		"transpose":   lowerTranspose,
+		"gather":      lowerGather,
 		"spread":      lowerSpread,
 		"dot_product": lowerDotProduct,
 		"size":        lowerSize,
@@ -371,6 +372,31 @@ func lowerTranspose(lw *lowerer, e *ast.Index) tv {
 	ext := shape.Extents(m.shape)
 	out := shape.Of(ext[1], ext[0])
 	return lw.commCall("cm_transpose", []nir.Value{m.v}, m.kind, out, e)
+}
+
+// lowerGather lowers GATHER(array, index) — the irregular-access
+// companion of CSHIFT: result(i) = array(index(i)) for rank-1 array and
+// index. It becomes a cm_gather runtime call, the general-router
+// communication pattern the NEWS grid cannot express.
+func lowerGather(lw *lowerer, e *ast.Index) tv {
+	args := lw.getArgs(e, "array", "index")
+	if args[0] == nil || args[1] == nil {
+		lw.rep.Errorf("typecheck", e.Pos, "gather requires array and index")
+		return badTV
+	}
+	arr := lw.lowerExpr(args[0])
+	idx := lw.lowerExpr(args[1])
+	if arr.scalar() || shape.Rank(arr.shape) != 1 {
+		lw.rep.Errorf("shapecheck", e.Pos, "gather requires a rank-1 array")
+		return badTV
+	}
+	if idx.scalar() || shape.Rank(idx.shape) != 1 || idx.kind != nir.Integer32 {
+		lw.rep.Errorf("typecheck", e.Pos, "gather index must be a rank-1 integer array")
+		return badTV
+	}
+	arr = lw.materializeField(arr, args[0])
+	idx = lw.materializeField(idx, args[1])
+	return lw.commCall("cm_gather", []nir.Value{arr.v, idx.v}, arr.kind, idx.shape, e)
 }
 
 func lowerSpread(lw *lowerer, e *ast.Index) tv {

@@ -30,6 +30,9 @@ type Symbol struct {
 	Param  bool
 	Const  constVal // value for PARAMETERs
 	Temp   bool     // compiler-generated temporary
+	// Dist is the array's data distribution from !HPF$ directives (or a
+	// compiler override); the zero value is the default blockwise layout.
+	Dist shape.Distribution
 }
 
 // SymTab maps identifiers to symbols.

@@ -139,7 +139,7 @@ func (p *Profile) WriteAnnotated(w io.Writer) error {
 		return 100 * v / total
 	}
 
-	fmt.Fprintf(w, "source-line cycle profile: %.0f modeled PE cycles\n\n", total)
+	fmt.Fprintf(w, "source-line cycle profile: %.0f modeled cycles (PE + communication)\n\n", total)
 
 	hot := p.HotLines(10)
 	if len(hot) > 0 {

@@ -64,7 +64,7 @@ func TestAnnotatedReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if want := "121 modeled PE cycles"; !strings.Contains(out, want) {
+	if want := "121 modeled cycles"; !strings.Contains(out, want) {
 		t.Errorf("missing total %q in:\n%s", want, out)
 	}
 	if !strings.Contains(out, "x = y + z") || !strings.Contains(out, "w = sin(x)") {

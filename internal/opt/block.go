@@ -158,8 +158,9 @@ func (o *optimizer) rewrite(a nir.Imp) nir.Imp {
 type block struct {
 	class  Class
 	over   shape.Shape
-	moves  []nir.Move // compute blocks only
-	action nir.Imp    // comm/host blocks
+	dist   shape.Distribution // compute blocks: the moves' explicit layout
+	moves  []nir.Move         // compute blocks only
+	action nir.Imp            // comm/host blocks
 	reads  map[string]bool
 	writes map[string]bool
 }
@@ -243,10 +244,13 @@ func (o *optimizer) blockList(list []nir.Imp) nir.Imp {
 			// Section padding has already run as its own pass
 			// (pad-sections); compute moves arrive here in final form.
 			m := a.(nir.Move)
+			mDist, _ := o.cls.MoveDist(m)
+			rank := len(shape.Extents(m.Over))
 			if o.opts.BlockDomains {
 				for i := len(blocks) - 1; i >= 0; i-- {
 					b := blocks[i]
-					if b.class == Compute && shape.Congruent(b.over, m.Over) {
+					if b.class == Compute && shape.Congruent(b.over, m.Over) &&
+						b.dist.Equal(mDist, rank) {
 						b.moves = append(b.moves, m)
 						for n := range r {
 							b.reads[n] = true
@@ -262,7 +266,7 @@ func (o *optimizer) blockList(list []nir.Imp) nir.Imp {
 					}
 				}
 			}
-			blocks = append(blocks, &block{class: Compute, over: m.Over,
+			blocks = append(blocks, &block{class: Compute, over: m.Over, dist: mDist,
 				moves: []nir.Move{m}, reads: r, writes: w})
 			return
 		}

@@ -172,7 +172,45 @@ func (c *Classifier) classifyMove(m nir.Move) Class {
 			return Comm
 		}
 	}
+	// Arrays carrying two different explicit !HPF$ distributions are not
+	// co-resident even when their shapes agree: the move needs a router
+	// realignment, so it is communication.
+	if _, ok := c.MoveDist(m); !ok {
+		return Comm
+	}
 	return Compute
+}
+
+// MoveDist returns the explicit data distribution shared by a move's
+// array references, if any (ok=true). Arrays with the default blockwise
+// distribution are wildcards — the compiler materializes their values in
+// the partner's layout — so they never constrain the result. Two
+// differing explicit distributions mean the move cannot be grid-local
+// (ok=false): it requires a router realignment.
+func (c *Classifier) MoveDist(m nir.Move) (shape.Distribution, bool) {
+	var d shape.Distribution
+	ok := true
+	for _, g := range m.Moves {
+		for _, v := range []nir.Value{g.Mask, g.Src, g.Tgt} {
+			nir.WalkValues(v, func(x nir.Value) {
+				av, isAV := x.(nir.AVar)
+				if !isAV {
+					return
+				}
+				sym, found := c.Syms.Lookup(av.Name)
+				if !found || sym.Shape == nil || sym.Dist.IsDefault() {
+					return
+				}
+				rank := len(shape.Extents(sym.Shape))
+				if d.IsDefault() {
+					d = sym.Dist
+				} else if !d.Equal(sym.Dist, rank) {
+					ok = false
+				}
+			})
+		}
+	}
+	return d, ok
 }
 
 // sectionFullShape returns the declared shape shared by all sectioned

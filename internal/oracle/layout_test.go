@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"testing"
+
+	"f90y/internal/workload"
+)
+
+// TestVerifyLayoutKernels runs the layout kernel trio through the
+// three-way differential oracle under three data distributions each:
+// the directive-free default (BLOCK everywhere), an explicit CYCLIC
+// layout, and an ALIGN'd layout. Distributions change only the modeled
+// communication geometry — never values — so every combination must
+// agree with the reference interpreter and bit-exactly across machines.
+func TestVerifyLayoutKernels(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"transpose-block", workload.LayoutTranspose(16, 2, nil)},
+		{"transpose-cyclic", workload.LayoutTranspose(16, 2, []string{
+			"!HPF$ DISTRIBUTE a(CYCLIC, CYCLIC)",
+			"!HPF$ ALIGN b WITH a",
+			"!HPF$ ALIGN c WITH a",
+		})},
+		{"transpose-aligned", workload.LayoutTranspose(16, 2, []string{
+			"!HPF$ DISTRIBUTE a(BLOCK, *)",
+			"!HPF$ DISTRIBUTE b(*, BLOCK)",
+			"!HPF$ ALIGN c WITH b",
+		})},
+		{"fft-block", workload.LayoutFFT(64, 6, nil)},
+		{"fft-cyclic", workload.LayoutFFT(64, 6, []string{
+			"!HPF$ DISTRIBUTE x(CYCLIC)",
+			"!HPF$ ALIGN y WITH x",
+		})},
+		{"fft-aligned", workload.LayoutFFT(64, 6, []string{
+			"!HPF$ PROCESSORS procs(16)",
+			"!HPF$ DISTRIBUTE x(CYCLIC(2)) ONTO procs",
+			"!HPF$ ALIGN y WITH x",
+		})},
+		{"gather-block", workload.LayoutGather(64, 2, nil)},
+		{"gather-cyclic", workload.LayoutGather(64, 2, []string{
+			"!HPF$ DISTRIBUTE a(CYCLIC)",
+			"!HPF$ ALIGN b WITH a",
+		})},
+		{"gather-aligned", workload.LayoutGather(64, 2, []string{
+			"!HPF$ DISTRIBUTE a(CYCLIC(4))",
+			"!HPF$ ALIGN b WITH a",
+			"!HPF$ ALIGN idx WITH a",
+		})},
+	}
+	for _, c := range cases {
+		rep, err := Verify(c.name+".f90", c.src, Options{})
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if rep.Divergence != nil {
+			t.Errorf("%s: divergence %s", c.name, rep.Divergence)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"f90y/internal/ast"
+	"f90y/internal/source"
+)
+
+// This file parses the bodies of !HPF$ comment directives. The grammar
+// (SNIPPETS.md snippet 3, the HPF subset the paper's runtime can map):
+//
+//	directive := PROCESSORS name "(" int { "," int } ")"
+//	           | DISTRIBUTE name "(" dist { "," dist } ")" [ ONTO name ]
+//	           | ALIGN name WITH name
+//	dist      := BLOCK | CYCLIC [ "(" int ")" ] | "*"
+//
+// Keywords and names are case-insensitive; names are normalized to
+// lower case like every other identifier.
+
+// parseDirective consumes one DIRECTIVE token and records the parsed
+// directive; malformed directives are reported as parse errors at the
+// directive's position.
+func (p *Parser) parseDirective() {
+	tok := p.next() // the DIRECTIVE token
+	d, err := parseDirectiveBody(tok.Text, tok.Pos)
+	if err != nil {
+		p.rep.Errorf("parse", tok.Pos, "malformed !HPF$ directive: %v", err)
+		return
+	}
+	p.directives = append(p.directives, d)
+}
+
+// dirScanner is a trivial word/punctuation scanner over a directive body.
+type dirScanner struct {
+	s string
+	i int
+}
+
+func (sc *dirScanner) skipSpace() {
+	for sc.i < len(sc.s) && (sc.s[sc.i] == ' ' || sc.s[sc.i] == '\t') {
+		sc.i++
+	}
+}
+
+// word returns the next identifier-like word lower-cased ("" if the
+// next character is not a word character).
+func (sc *dirScanner) word() string {
+	sc.skipSpace()
+	start := sc.i
+	for sc.i < len(sc.s) {
+		c := sc.s[sc.i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			sc.i++
+			continue
+		}
+		break
+	}
+	return strings.ToLower(sc.s[start:sc.i])
+}
+
+// sym consumes the given single-character symbol if present.
+func (sc *dirScanner) sym(c byte) bool {
+	sc.skipSpace()
+	if sc.i < len(sc.s) && sc.s[sc.i] == c {
+		sc.i++
+		return true
+	}
+	return false
+}
+
+func (sc *dirScanner) done() bool {
+	sc.skipSpace()
+	return sc.i >= len(sc.s)
+}
+
+func (sc *dirScanner) rest() string { return strings.TrimSpace(sc.s[sc.i:]) }
+
+func (sc *dirScanner) int() (int, error) {
+	w := sc.word()
+	if w == "" {
+		return 0, fmt.Errorf("expected integer, found %q", sc.rest())
+	}
+	return strconv.Atoi(w)
+}
+
+func parseDirectiveBody(body string, pos source.Pos) (*ast.Directive, error) {
+	sc := &dirScanner{s: body}
+	d := &ast.Directive{Pos: pos}
+	switch kw := sc.word(); kw {
+	case "processors":
+		d.Kind = ast.DirProcessors
+		if d.Name = sc.word(); d.Name == "" {
+			return nil, fmt.Errorf("PROCESSORS needs a grid name")
+		}
+		if !sc.sym('(') {
+			return nil, fmt.Errorf("PROCESSORS %s needs a parenthesized extent list", d.Name)
+		}
+		for {
+			n, err := sc.int()
+			if err != nil {
+				return nil, fmt.Errorf("bad PROCESSORS extent: %v", err)
+			}
+			d.Ints = append(d.Ints, n)
+			if sc.sym(',') {
+				continue
+			}
+			break
+		}
+		if !sc.sym(')') {
+			return nil, fmt.Errorf("PROCESSORS %s: missing ')'", d.Name)
+		}
+	case "distribute":
+		d.Kind = ast.DirDistribute
+		if d.Name = sc.word(); d.Name == "" {
+			return nil, fmt.Errorf("DISTRIBUTE needs an array name")
+		}
+		if !sc.sym('(') {
+			return nil, fmt.Errorf("DISTRIBUTE %s needs a parenthesized format list", d.Name)
+		}
+		for {
+			spec, err := parseDistSpec(sc)
+			if err != nil {
+				return nil, err
+			}
+			d.Dists = append(d.Dists, spec)
+			if sc.sym(',') {
+				continue
+			}
+			break
+		}
+		if !sc.sym(')') {
+			return nil, fmt.Errorf("DISTRIBUTE %s: missing ')'", d.Name)
+		}
+		if !sc.done() {
+			if sc.word() != "onto" {
+				return nil, fmt.Errorf("DISTRIBUTE %s: expected ONTO, found %q", d.Name, sc.rest())
+			}
+			if d.Onto = sc.word(); d.Onto == "" {
+				return nil, fmt.Errorf("DISTRIBUTE %s ONTO needs a processors-grid name", d.Name)
+			}
+		}
+	case "align":
+		d.Kind = ast.DirAlign
+		if d.Name = sc.word(); d.Name == "" {
+			return nil, fmt.Errorf("ALIGN needs an array name")
+		}
+		if sc.word() != "with" {
+			return nil, fmt.Errorf("ALIGN %s: expected WITH", d.Name)
+		}
+		if d.With = sc.word(); d.With == "" {
+			return nil, fmt.Errorf("ALIGN %s WITH needs a template name", d.Name)
+		}
+	case "":
+		return nil, fmt.Errorf("empty directive")
+	default:
+		return nil, fmt.Errorf("unknown directive %q (want PROCESSORS, DISTRIBUTE, or ALIGN)", kw)
+	}
+	if !sc.done() {
+		return nil, fmt.Errorf("trailing junk %q", sc.rest())
+	}
+	return d, nil
+}
+
+func parseDistSpec(sc *dirScanner) (ast.DistSpec, error) {
+	if sc.sym('*') {
+		return ast.DistSpec{Kind: "*"}, nil
+	}
+	switch w := sc.word(); w {
+	case "block":
+		return ast.DistSpec{Kind: "block"}, nil
+	case "cyclic":
+		spec := ast.DistSpec{Kind: "cyclic"}
+		if sc.sym('(') {
+			k, err := sc.int()
+			if err != nil || k < 1 {
+				return ast.DistSpec{}, fmt.Errorf("CYCLIC needs a positive chunk size")
+			}
+			spec.K = k
+			if !sc.sym(')') {
+				return ast.DistSpec{}, fmt.Errorf("CYCLIC(%d): missing ')'", k)
+			}
+		}
+		return spec, nil
+	case "":
+		return ast.DistSpec{}, fmt.Errorf("expected distribution format, found %q", sc.rest())
+	default:
+		return ast.DistSpec{}, fmt.Errorf("unknown distribution format %q (want BLOCK, CYCLIC, or *)", w)
+	}
+}

@@ -1,0 +1,99 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"f90y/internal/ast"
+)
+
+const dirProg = `program d
+integer, parameter :: n = 8
+real, array(n,n) :: a, b
+!HPF$ PROCESSORS p(4, 8)
+!hpf$ distribute a(block, cyclic(4)) onto p
+!HPF$ ALIGN B WITH A
+a = 1.0
+b = a + 1.0
+end program d
+`
+
+func TestParseDirectives(t *testing.T) {
+	prog, err := Parse("d.f90", dirProg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Directives) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(prog.Directives), prog.Directives)
+	}
+	p, d, a := prog.Directives[0], prog.Directives[1], prog.Directives[2]
+	if p.Kind != ast.DirProcessors || p.Name != "p" || len(p.Ints) != 2 || p.Ints[0] != 4 || p.Ints[1] != 8 {
+		t.Errorf("PROCESSORS = %+v", p)
+	}
+	if p.Pos.Line != 4 {
+		t.Errorf("PROCESSORS at line %d, want 4", p.Pos.Line)
+	}
+	if d.Kind != ast.DirDistribute || d.Name != "a" || d.Onto != "p" ||
+		len(d.Dists) != 2 || d.Dists[0].Kind != "block" || d.Dists[1].Kind != "cyclic" || d.Dists[1].K != 4 {
+		t.Errorf("DISTRIBUTE = %+v", d)
+	}
+	if a.Kind != ast.DirAlign || a.Name != "b" || a.With != "a" {
+		t.Errorf("ALIGN = %+v", a)
+	}
+	// The program body must be unaffected by the directive lines.
+	if len(prog.Body) != 2 {
+		t.Errorf("got %d body statements, want 2", len(prog.Body))
+	}
+}
+
+func TestParseDirectiveStar(t *testing.T) {
+	src := "program d\nreal, array(4,4) :: a\n!HPF$ DISTRIBUTE a(*, BLOCK)\na = 0.0\nend program d\n"
+	prog, err := Parse("d.f90", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Directives) != 1 || prog.Directives[0].Dists[0].Kind != "*" {
+		t.Fatalf("directives = %+v", prog.Directives)
+	}
+}
+
+func TestParseDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"!HPF$ TEMPLATE t(8)", "unknown directive"},
+		{"!HPF$ DISTRIBUTE a(banana)", "unknown distribution format"},
+		{"!HPF$ DISTRIBUTE a block", "parenthesized format list"},
+		{"!HPF$ DISTRIBUTE a(cyclic(0))", "positive chunk size"},
+		{"!HPF$ ALIGN b a", "expected WITH"},
+		{"!HPF$ PROCESSORS p", "parenthesized extent list"},
+		{"!HPF$ PROCESSORS p(2) junk", "trailing junk"},
+		{"!HPF$", "empty directive"},
+	}
+	for _, c := range cases {
+		src := "program d\nreal, array(4) :: a, b\n" + c.dir + "\na = 0.0\nend program d\n"
+		_, err := Parse("d.f90", src)
+		if err == nil {
+			t.Errorf("%q: expected parse error", c.dir)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.dir, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "d.f90:3") {
+			t.Errorf("%q: error %q not positioned at the directive line", c.dir, err)
+		}
+	}
+}
+
+func TestOrdinaryCommentsStillSkipped(t *testing.T) {
+	src := "program d\n! just a comment, not hpf$\nreal :: x\nx = 1.0 ! trailing\nend program d\n"
+	prog, err := Parse("d.f90", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Directives) != 0 {
+		t.Fatalf("plain comments produced directives: %+v", prog.Directives)
+	}
+}

@@ -22,6 +22,8 @@ type Parser struct {
 	toks []lexer.Token
 	pos  int
 	rep  *source.Reporter
+
+	directives []*ast.Directive // !HPF$ directives collected in source order
 }
 
 // Parse lexes and parses one main program unit.
@@ -124,9 +126,19 @@ func (p *Parser) endOfStmt() {
 	}
 }
 
+// skipNewlines consumes statement separators and any !HPF$ directive
+// lines (directives are whole comment lines, so they only ever appear
+// at statement boundaries).
 func (p *Parser) skipNewlines() {
-	for p.at(lexer.NEWLINE) || p.at(lexer.SEMI) {
-		p.next()
+	for {
+		switch {
+		case p.at(lexer.NEWLINE) || p.at(lexer.SEMI):
+			p.next()
+		case p.at(lexer.DIRECTIVE):
+			p.parseDirective()
+		default:
+			return
+		}
 	}
 }
 
@@ -182,6 +194,7 @@ func (p *Parser) parseProgram() *ast.Program {
 	if !p.at(lexer.EOF) {
 		p.errorf("unexpected tokens after END PROGRAM")
 	}
+	prog.Directives = p.directives
 	return prog
 }
 

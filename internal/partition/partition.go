@@ -150,6 +150,10 @@ func (p *partitioner) move(m nir.Move) ([]fe.Op, error) {
 			return []fe.Op{fe.Comm{Move: m}}, nil
 		}
 		p.stats.NodeRoutines++
+		// Stamp the routine with the block's explicit data distribution
+		// (if any) so the machine models lay its iteration space out the
+		// way the !HPF$ directives asked for.
+		r.Dist, _ = p.cls.MoveDist(m)
 		p.routines = append(p.routines, r)
 		obs.Add(p.rec, "pe/"+r.Name+"/instrs", float64(r.InstrCount()))
 		obs.Add(p.rec, "pe/"+r.Name+"/issue-slots", float64(r.IssueSlots()))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"f90y/internal/shape"
 	"f90y/internal/source"
 )
 
@@ -61,6 +62,10 @@ type Routine struct {
 	Body       []Instr
 	SpillSlots int // spill area words per PE
 	Pos        source.Pos
+	// Dist is the data distribution the routine's arrays share (from
+	// !HPF$ directives); the zero value is the default blockwise layout.
+	// The machine models use it to lay the iteration space out over PEs.
+	Dist shape.Distribution
 }
 
 // Format renders the routine in the Fig. 12 assembly style: the loop

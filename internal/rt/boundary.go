@@ -67,6 +67,7 @@ func SnapshotBoundary(store *Store, comm *Comm, b Boundary, host HostState, tot 
 	ck.PERoutineCycles = CopyMap(tot.PERoutineCycles)
 	ck.PELineCycles = CopyLineMap(tot.PELineCycles)
 	ck.CommClassCycles = CopyMap(comm.ClassCycles)
+	ck.CommLineCycles = CopyLineMap(comm.LineCycles)
 	ck.HostClassCycles = host.ClassCycles
 	return ck
 }
@@ -79,7 +80,7 @@ func ResumeBoundary(ck *Checkpoint, store *Store, comm *Comm) (ExecTotals, error
 	if err := ck.ApplyStore(store); err != nil {
 		return ExecTotals{}, err
 	}
-	comm.Restore(ck.CommClassCycles, ck.CommCalls)
+	comm.Restore(ck.CommClassCycles, ck.CommLineCycles, ck.CommCalls)
 	return ExecTotals{
 		Flops:           ck.Flops,
 		NodeCalls:       ck.NodeCalls,

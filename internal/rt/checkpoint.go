@@ -53,8 +53,11 @@ type Checkpoint struct {
 	// PELineCycles carries the source-line attribution; LineRef keys
 	// serialize as "routine|file:line|class" strings.
 	PELineCycles map[LineRef]float64 `json:"pe_line_cycles,omitempty"`
-	CommClassCycles map[string]float64 `json:"comm_class_cycles,omitempty"`
-	HostClassCycles map[string]float64 `json:"host_class_cycles,omitempty"`
+	// CommLineCycles carries the communication-network attribution under
+	// the pseudo-routine CommRoutine, with Class "grid"/"router"/"reduce".
+	CommLineCycles  map[LineRef]float64 `json:"comm_line_cycles,omitempty"`
+	CommClassCycles map[string]float64  `json:"comm_class_cycles,omitempty"`
+	HostClassCycles map[string]float64  `json:"host_class_cycles,omitempty"`
 	// Extra carries machine-specific cycle buckets (the CM-5's
 	// three-way split: "vu-cycles", "sparc-cycles", "degrade-cycles").
 	Extra map[string]float64 `json:"extra,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"f90y/internal/faults"
 	"f90y/internal/nir"
 	"f90y/internal/shape"
+	"f90y/internal/source"
 )
 
 // CommCost is the communication cycle model, in per-PE sequencer cycles.
@@ -62,6 +63,16 @@ type Comm struct {
 	// ClassCycles attributes Cycles per communication class (CommGrid,
 	// CommRouter, CommReduce); the class values sum exactly to Cycles.
 	ClassCycles map[string]float64
+	// LineCycles attributes Cycles to the source line of the move that
+	// caused each transfer, keyed under the CommRoutine pseudo-routine
+	// with the communication class as the cycle class. The values sum
+	// exactly to Cycles, so flamegraphs can overlay network time onto
+	// PE time and show where a bad layout burns router cycles.
+	LineCycles map[LineRef]float64
+	// pos is the source position of the guarded move currently
+	// executing; charge attributes cycles (including fault retries) to
+	// it.
+	pos source.Pos
 	// Faults, when non-nil, subjects every transfer to the injection
 	// plane: drops and corruptions are detected (ack timeout,
 	// per-transfer checksum) and retried with capped exponential
@@ -71,29 +82,74 @@ type Comm struct {
 	Faults *faults.Injector
 }
 
-// Restore pre-seeds the per-class cycle attribution (and the re-summed
-// total) from a checkpoint, so a resumed run's totals continue from the
-// snapshot.
-func (c *Comm) Restore(classCycles map[string]float64, calls int) {
-	for cl, v := range classCycles {
-		c.charge(cl, v)
+// Restore pre-seeds the per-class and per-line cycle attribution (and
+// the re-summed total) from a checkpoint, so a resumed run's totals
+// continue from the snapshot. A checkpoint written before per-line comm
+// attribution existed has nil lineCycles; its class totals are then
+// seeded under zero-position LineRefs so the sum invariant holds.
+func (c *Comm) Restore(classCycles map[string]float64, lineCycles map[LineRef]float64, calls int) {
+	if len(lineCycles) > 0 {
+		c.LineCycles = CopyLineMap(lineCycles)
+	} else {
+		for cl, v := range classCycles {
+			if v != 0 {
+				if c.LineCycles == nil {
+					c.LineCycles = map[LineRef]float64{}
+				}
+				c.LineCycles[LineRef{Routine: CommRoutine, Class: cl}] += v
+			}
+		}
 	}
+	if c.ClassCycles == nil {
+		c.ClassCycles = map[string]float64{CommGrid: 0, CommRouter: 0, CommReduce: 0}
+	}
+	for cl, v := range classCycles {
+		c.ClassCycles[cl] += v
+	}
+	c.Cycles = c.ClassCycles[CommGrid] + c.ClassCycles[CommRouter] + c.ClassCycles[CommReduce]
 	c.Calls = calls
 }
 
 // charge attributes cyc to one communication class. Cycles is kept as
 // the re-summed class total so the per-class values always sum exactly
-// to it, independent of charge interleaving.
+// to it, independent of charge interleaving. The same cycles are also
+// attributed to the source line of the move being executed.
 func (c *Comm) charge(class string, cyc float64) {
 	if c.ClassCycles == nil {
 		c.ClassCycles = map[string]float64{CommGrid: 0, CommRouter: 0, CommReduce: 0}
 	}
 	c.ClassCycles[class] += cyc
 	c.Cycles = c.ClassCycles[CommGrid] + c.ClassCycles[CommRouter] + c.ClassCycles[CommReduce]
+	if c.LineCycles == nil {
+		c.LineCycles = map[LineRef]float64{}
+	}
+	c.LineCycles[LineRef{Routine: CommRoutine, File: c.pos.File, Line: c.pos.Line, Class: class}] += cyc
 }
 
 func (c *Comm) layoutOf(a *Array) shape.Layout {
-	return shape.Blockwise(shape.Of(a.Ext...), c.PEs)
+	return shape.Distribute(shape.Of(a.Ext...), c.PEs, a.Dist)
+}
+
+// effectivePair resolves the (source, target) distribution pair of a
+// communication. An array without an explicit distribution is treated
+// as aligned with its distributed partner: the compiler materializes
+// temporaries in the layout of their consumers, so only explicit
+// directives change routing. The third result reports whether any
+// explicit distribution is involved — when false the legacy
+// default-layout cost path must be taken, bit for bit.
+func effectivePair(src, out *Array) (shape.Distribution, shape.Distribution, bool) {
+	sd, od := src.Dist, out.Dist
+	sdef, odef := sd.IsDefault(), od.IsDefault()
+	if sdef && odef {
+		return sd, od, false
+	}
+	if sdef {
+		sd = od
+	}
+	if odef {
+		od = sd
+	}
+	return sd, od, true
 }
 
 // ExecMove executes one communication-class move: either a runtime
@@ -101,7 +157,12 @@ func (c *Comm) layoutOf(a *Array) shape.Layout {
 // elementwise.
 func (c *Comm) ExecMove(m nir.Move) error {
 	c.Calls++
+	defer func() { c.pos = source.Pos{} }()
 	for _, g := range m.Moves {
+		c.pos = g.Pos
+		if !c.pos.IsValid() {
+			c.pos = m.Pos
+		}
 		if fc, ok := g.Src.(nir.FcnCall); ok {
 			if err := c.execIntrinsic(fc, g.Tgt); err != nil {
 				return err
@@ -153,6 +214,8 @@ func (c *Comm) execIntrinsic(fc nir.FcnCall, tgt nir.Value) error {
 		return c.execReduce(fc, tgt)
 	case "cm_transpose":
 		return c.execTranspose(fc, tgt)
+	case "cm_gather":
+		return c.execGather(fc, tgt)
 	case "cm_spread":
 		return c.execSpread(fc, tgt)
 	case "cm_dot":
@@ -218,12 +281,34 @@ func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
 		tmp[off] = src.Data[off+(j-i)*strideBelow]
 	}
 
-	// Cost: local block rotate plus wire traffic for boundary-crossing
-	// elements, one charge per PE-grid step travelled.
-	l := c.layoutOf(src)
+	// Cost. Default layouts take the legacy NEWS model verbatim: local
+	// block rotate plus wire traffic for boundary-crossing elements,
+	// one charge per PE-grid step travelled.
+	srcD, outD, explicit := effectivePair(src, out)
+	if !explicit {
+		l := c.layoutOf(src)
+		sub := float64(l.SubgridSize())
+		hops := math.Abs(float64(shift))
+		return c.deliverArray(CommGrid, c.Cost.GridStartup+sub*c.Cost.GridLocal+sub*l.OffPEFraction(d)*c.Cost.GridWire*hops, out, tmp)
+	}
+	// Explicit layouts: a shift between identically-distributed arrays
+	// is a grid shift whose wire traffic the layout's own shift model
+	// prices (free for cyclic shifts that are a multiple of chunk*PEs,
+	// torus-minimal otherwise); a shift across two different layouts is
+	// a general-router realignment. Either way the compiler takes the
+	// cheaper of the grid and router paths, as the runtime would.
+	l := shape.Distribute(shape.Of(src.Ext...), c.PEs, srcD)
 	sub := float64(l.SubgridSize())
-	hops := math.Abs(float64(shift))
-	return c.deliverArray(CommGrid, c.Cost.GridStartup+sub*c.Cost.GridLocal+sub*l.OffPEFraction(d)*c.Cost.GridWire*hops, out, tmp)
+	router := c.Cost.RouterStartup + sub*c.Cost.RouterPerElem
+	if !srcD.Equal(outD, src.Rank()) {
+		return c.deliverArray(CommRouter, router, out, tmp)
+	}
+	frac, hops := l.ShiftCost(d, shift)
+	grid := c.Cost.GridStartup + sub*c.Cost.GridLocal + sub*frac*c.Cost.GridWire*hops
+	if grid <= router {
+		return c.deliverArray(CommGrid, grid, out, tmp)
+	}
+	return c.deliverArray(CommRouter, router, out, tmp)
 }
 
 func (c *Comm) execReduce(fc nir.FcnCall, tgt nir.Value) error {
@@ -307,8 +392,94 @@ func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
 			tmp[j+i*cl] = src.Data[i+j*r]
 		}
 	}
-	l := c.layoutOf(src)
-	return c.deliverArray(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem, out, tmp)
+	// Default layouts pay the legacy flat router charge. With explicit
+	// layouts the off-PE traffic is counted exactly: element (i,j) of
+	// the source lands at (j,i) of the target, and a default-layout
+	// partner is assumed aligned with the transpose of the explicit
+	// one (that is where the compiler materializes the temporary). A
+	// (BLOCK,*) -> (*,BLOCK) transpose is thereby fully PE-local.
+	sd, od := src.Dist, out.Dist
+	if sd.IsDefault() && od.IsDefault() {
+		l := c.layoutOf(src)
+		return c.deliverArray(CommRouter, c.Cost.RouterStartup+float64(l.SubgridSize())*c.Cost.RouterPerElem, out, tmp)
+	}
+	if sd.IsDefault() {
+		sd = od.Reverse(2)
+	}
+	if od.IsDefault() {
+		od = sd.Reverse(2)
+	}
+	ls := shape.Distribute(shape.Of(src.Ext...), c.PEs, sd)
+	lo := shape.Distribute(shape.Of(out.Ext...), c.PEs, od)
+	off, local := 0, 0
+	for j := 0; j < cl; j++ {
+		for i := 0; i < r; i++ {
+			if ls.Owner(i, j) != lo.Owner(j, i) {
+				off++
+			} else {
+				local++
+			}
+		}
+	}
+	class, cyc := c.routedCost(off, local, lo)
+	return c.deliverArray(class, cyc, out, tmp)
+}
+
+// routedCost prices a permutation moving off elements between PEs and
+// local elements within them, under the target layout: a pure-local
+// permutation is one grid pass; anything off-PE pays router startup
+// plus per-element router charges on the off-PE share, with the local
+// share moved at grid cost. Charges are per-PE (the networks operate in
+// parallel), over the PEs the target layout actually populates.
+func (c *Comm) routedCost(off, local int, lo shape.Layout) (string, float64) {
+	pes := float64(max(lo.PEsUsed(), 1))
+	if off == 0 {
+		return CommGrid, c.Cost.GridStartup + float64(local)/pes*c.Cost.GridLocal
+	}
+	return CommRouter, c.Cost.RouterStartup + float64(off)/pes*c.Cost.RouterPerElem + float64(local)/pes*c.Cost.GridLocal
+}
+
+// execGather implements cm_gather: out(i) = src(idx(i)) for rank-1 src
+// and idx. The cost model counts, element by element, how many fetches
+// cross a PE boundary under the (source, target) layout pair — the
+// irregular-access pattern only the general router can serve. The
+// result array shares the index array's layout (it is computed
+// elementwise from it).
+func (c *Comm) execGather(fc nir.FcnCall, tgt nir.Value) error {
+	src, err := c.arrayArg(fc.Args[0], "cm_gather")
+	if err != nil {
+		return err
+	}
+	idx, err := c.arrayArg(fc.Args[1], "cm_gather")
+	if err != nil {
+		return err
+	}
+	out, err := c.targetArray(tgt)
+	if err != nil {
+		return err
+	}
+	if src.Rank() != 1 || idx.Rank() != 1 || out.Size() != idx.Size() {
+		return fmt.Errorf("rt: gather %w", ErrShape)
+	}
+	srcD, outD, _ := effectivePair(src, out)
+	ls := shape.Distribute(shape.Of(src.Ext...), c.PEs, srcD)
+	lo := shape.Distribute(shape.Of(out.Ext...), c.PEs, outD)
+	tmp := make([]float64, idx.Size())
+	off, local := 0, 0
+	for i := range tmp {
+		j := int(idx.Data[i]) - src.Lo[0]
+		if j < 0 || j >= len(src.Data) {
+			return fmt.Errorf("rt: gather index %d out of bounds: %w", j+src.Lo[0], ErrShape)
+		}
+		tmp[i] = src.Data[j]
+		if ls.Owner(j) != lo.Owner(i) {
+			off++
+		} else {
+			local++
+		}
+	}
+	class, cyc := c.routedCost(off, local, lo)
+	return c.deliverArray(class, cyc, out, tmp)
 }
 
 func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {

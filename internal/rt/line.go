@@ -61,3 +61,21 @@ func CopyLineMap(m map[LineRef]float64) map[LineRef]float64 {
 	}
 	return out
 }
+
+// MergeLineMaps sums any number of per-line cycle maps into a fresh map
+// (nil inputs are skipped); the profiler uses it to overlay the comm
+// network attribution onto the PE attribution.
+func MergeLineMaps(maps ...map[LineRef]float64) map[LineRef]float64 {
+	out := map[LineRef]float64{}
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// CommRoutine is the pseudo-routine name under which communication
+// cycles are attributed to source lines (there is no PEAC routine for a
+// router or NEWS transfer; the network itself is the "routine").
+const CommRoutine = "(comm)"

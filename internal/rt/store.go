@@ -23,6 +23,11 @@ type Array struct {
 	Ext  []int
 	Lo   []int
 	Data []float64
+	// Dist is the array's data distribution from !HPF$ directives; the
+	// zero value is the default blockwise layout. It never changes
+	// element storage (always flat column-major) — only the modeled
+	// communication geometry.
+	Dist shape.Distribution
 }
 
 // NewArray allocates a zeroed CM array for a shape.
@@ -93,7 +98,9 @@ func NewStore(syms *lower.SymTab) *Store {
 			st.Scalars[sym.Name] = 0
 			continue
 		}
-		st.Arrays[sym.Name] = NewArray(sym.Kind, sym.Shape)
+		a := NewArray(sym.Kind, sym.Shape)
+		a.Dist = sym.Dist
+		st.Arrays[sym.Name] = a
 	}
 	return st
 }

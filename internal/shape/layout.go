@@ -6,10 +6,11 @@ package shape
 // processing elements"). Each PE owns a rectangular subgrid; all PEs'
 // subgrids tile the shape exactly (edge PEs may own smaller blocks).
 type Layout struct {
-	Extents []int // shape extents per dimension
-	PEDims  []int // PEs assigned along each dimension (product = PEs used)
-	Block   []int // nominal subgrid extent per dimension (ceil division)
-	PEs     int   // total PEs in the machine
+	Extents []int        // shape extents per dimension
+	PEDims  []int        // PEs assigned along each dimension (product = PEs used)
+	Block   []int        // nominal subgrid extent per dimension (ceil division)
+	PEs     int          // total PEs in the machine
+	Dist    Distribution // per-dim distribution; zero value = default blockwise
 }
 
 // Blockwise computes a block layout of s over a machine with pes
@@ -17,37 +18,36 @@ type Layout struct {
 // Factors of the PE count are assigned greedily to the dimension whose
 // per-PE block is currently largest, mirroring the CM runtime's grid
 // geometry heuristic.
+//
+// Degenerate inputs are clamped rather than rejected, so a layout is
+// always usable: pes < 1 behaves as a single-PE machine, and zero or
+// negative extents behave as extent 1 (a degenerate dimension still
+// owns one point). A non-power-of-two PE count uses the largest power
+// of two below it, matching the hypercube geometry.
 func Blockwise(s Shape, pes int) Layout {
-	ext := Extents(s)
+	return Distribute(s, pes, Distribution{})
+}
+
+// sanitizePEs clamps a degenerate machine size to one PE.
+func sanitizePEs(pes int) int {
+	if pes < 1 {
+		return 1
+	}
+	return pes
+}
+
+// sanitizeExtents clamps degenerate extents to 1 (and a rank-0 shape to
+// a single point) so every dimension owns at least one point. The
+// returned slice is freshly allocated.
+func sanitizeExtents(ext []int) []int {
 	if len(ext) == 0 {
-		ext = []int{1}
+		return []int{1}
 	}
-	pd := make([]int, len(ext))
-	for i := range pd {
-		pd[i] = 1
+	out := make([]int, len(ext))
+	for i, e := range ext {
+		out[i] = max(e, 1)
 	}
-	remaining := pes
-	for remaining > 1 {
-		// Find the dimension with the largest current block that can
-		// still be split (block > 1).
-		best, bestBlock := -1, 0
-		for i := range ext {
-			b := ceilDiv(ext[i], pd[i])
-			if b > bestBlock && b > 1 {
-				best, bestBlock = i, b
-			}
-		}
-		if best < 0 {
-			break // shape smaller than machine; leave remaining PEs idle
-		}
-		pd[best] *= 2
-		remaining /= 2
-	}
-	block := make([]int, len(ext))
-	for i := range ext {
-		block[i] = ceilDiv(ext[i], pd[i])
-	}
-	return Layout{Extents: ext, PEDims: pd, Block: block, PEs: pes}
+	return out
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
