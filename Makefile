@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke serve-smoke loadtest fuzz-smoke profile-smoke layout-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
+.PHONY: check vet build test race smoke serve-smoke loadtest crash-smoke crash-soak fuzz-smoke profile-smoke layout-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
@@ -10,9 +10,10 @@ GO ?= go
 # soak through the differential oracle, an end-to-end smoke of the
 # source-line cycle profiler's three artifact formats, the !HPF$
 # distribution-plane layout sweep (oracle-verified, deterministic, and
-# the layout choice must matter), and the f90yd server lifecycle smoke
-# (start, load, overload, SIGTERM drain).
-check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke layout-smoke serve-smoke
+# the layout choice must matter), the f90yd server lifecycle smoke
+# (start, load, overload, SIGTERM drain), and the durability-plane crash
+# smoke (SIGKILL mid-load, relaunch, bit-identical recovery).
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke layout-smoke serve-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +30,9 @@ race:
 	$(GO) test -race -short ./...
 
 # Race-enabled concurrency gate: shared-artifact determinism, compile
-# cache singleflight, batch serial/parallel identity, cancellation, the
+# cache singleflight, LRU byte-bound eviction racing Peek/hot hits and
+# in-flight pins (plus the error-entry flood), batch serial/parallel
+# identity, cancellation, the
 # sharded-executor determinism test (bit-exact stores, cycles, and
 # fault/numeric tallies across -exec-workers values, with fault
 # injection and the numeric record plane active), and the pool
@@ -54,6 +57,21 @@ smoke:
 serve-smoke:
 	REQS=48 LOADW=8 OUT=.load-smoke.json ./scripts/serve_smoke.sh
 	rm -f .load-smoke.json
+
+# Durability-plane crash smoke: the swebench -restart harness SIGKILLs
+# a -state-dir f90yd mid-load and relaunches it, clean and under
+# torn/short durable-write injection. Fails on any silent job loss,
+# any result diverging from its uninterrupted baseline, or a run where
+# the kills never actually interrupted anything (vacuity check).
+crash-smoke:
+	KILLS=3 OUT=.crash-smoke.json ./scripts/crash_smoke.sh
+	rm -f .crash-smoke.json
+
+# Crash soak: 20 SIGKILL/relaunch cycles per phase (clean + fault
+# injected), recording the f90y-crash/v1 evidence quoted in
+# EXPERIMENTS.md L2.
+crash-soak:
+	KILLS=20 OUT=CRASH_soak.json ./scripts/crash_smoke.sh
 
 # Bigger load run against a fresh server, recording the f90y-load/v1
 # baseline (healthy p50/p99, per-class status counts) quoted in
@@ -132,4 +150,4 @@ bench-record:
 # clean removes generated benchmark outputs but keeps the committed
 # BENCH_baseline.json (refresh it with bench-record).
 clean:
-	rm -f BENCH_swe_*.json BENCH_batch.json .bench-smoke.json .profile-smoke.pb.gz .profile-smoke.folded .load-smoke.json LOAD_swe.json
+	rm -f BENCH_swe_*.json BENCH_batch.json .bench-smoke.json .profile-smoke.pb.gz .profile-smoke.folded .load-smoke.json LOAD_swe.json .crash-smoke.json CRASH_swe.json

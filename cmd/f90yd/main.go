@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"f90y/internal/faults"
 	"f90y/internal/server"
 )
 
@@ -61,6 +62,10 @@ var (
 	flagCacheEntries = flag.Int("cache-entries", 512, "artifact cache LRU entry bound")
 	flagCacheBytes   = flag.Int64("cache-bytes", 256<<20, "artifact cache LRU byte bound (estimated)")
 	flagRetainedJobs = flag.Int("retained-jobs", 256, "finished jobs retained for GET /v1/jobs/{id}")
+	flagStateDir     = flag.String("state-dir", "", "durability plane root (job journal, drain spills, persistent artifact cache); empty = disabled")
+	flagCkptEvery    = flag.Int("ckpt-every", 0, "spill a run checkpoint every N host boundaries under -state-dir (0 = 8)")
+	flagDiskCache    = flag.Int64("disk-cache-bytes", 1<<30, "persistent artifact cache byte bound under -state-dir (pruned at startup)")
+	flagIOFaults     = flag.String("io-faults", "", "deterministic durable-write fault spec, e.g. seed=1,torn=0.05,short=0.05 (crash testing)")
 )
 
 func main() {
@@ -70,7 +75,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	ioPlan, err := faults.ParseIOSpec(*flagIOFaults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yd:", err)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
 		Addr:           *flagAddr,
 		Workers:        *flagWorkers,
 		QueueDepth:     *flagQueueDepth,
@@ -83,11 +94,19 @@ func main() {
 			MaxExecWorkers: *flagTenantExecW,
 			MaxSourceBytes: *flagMaxSource,
 		},
-		RetainedJobs: *flagRetainedJobs,
-		CacheEntries: *flagCacheEntries,
-		CacheBytes:   *flagCacheBytes,
-		Log:          os.Stderr,
+		RetainedJobs:    *flagRetainedJobs,
+		CacheEntries:    *flagCacheEntries,
+		CacheBytes:      *flagCacheBytes,
+		StateDir:        *flagStateDir,
+		CheckpointEvery: *flagCkptEvery,
+		DiskCacheBytes:  *flagDiskCache,
+		IOFaults:        faults.NewIO(ioPlan),
+		Log:             os.Stderr,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "f90yd:", err)
+		os.Exit(1)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() {

@@ -14,6 +14,8 @@
 //	swebench -soak N [-json [-o SOAK.json]] [-parallel N] [-repro-dir DIR]
 //	swebench -serve-url http://127.0.0.1:8090 [-load 64] [-load-workers 8]
 //	         [-serve-wait 10s] [-o LOAD_swe.json]
+//	swebench -restart N -server-bin ./f90yd [-state-dir DIR]
+//	         [-restart-io-faults seed=1,torn=0.05] [-o CRASH_swe.json]
 //
 // With -serve-url the suite turns into a traffic generator against a
 // running f90yd server (see serve.go): a deterministic mix of healthy,
@@ -22,6 +24,14 @@
 // documented error taxonomy (any 500 fails the run), and a
 // "f90y-load/v1" record with healthy-request p50/p99 latencies is
 // written to -o.
+//
+// With -restart the suite becomes a crash-safety harness (see
+// restart.go): it launches its own f90yd on a durable -state-dir,
+// SIGKILLs it mid-load N times, relaunches it on the same state, and
+// fails unless every acknowledged job is recovered with a result
+// byte-identical to an uninterrupted baseline — or, under
+// -restart-io-faults, is lost ONLY as a server-reported torn-record
+// casualty. A "f90y-crash/v1" record goes to -o.
 //
 // With -parallel N the seven experiments run concurrently on an
 // N-worker pool (N < 1 selects GOMAXPROCS): each experiment renders
@@ -111,6 +121,10 @@ var (
 	flagLayoutN    = flag.Int("layout-n", 65536, "with -layout-sweep: problem size (elements)")
 	flagLayoutIter = flag.Int("layout-iters", 2, "with -layout-sweep: kernel iterations")
 	flagLayoutVer  = flag.Bool("layout-verify", false, "with -layout-sweep: oracle-verify each (kernel, layout) pair at a reduced size first")
+	flagRestart    = flag.Int("restart", 0, "crash harness: SIGKILL and relaunch the managed server N times mid-load, verifying bit-identical recovery (see restart.go)")
+	flagServerBin  = flag.String("server-bin", "", "with -restart: path to the f90yd binary to launch, kill, and relaunch")
+	flagStateDir   = flag.String("state-dir", "", "with -restart: server durability directory (default: a fresh temp dir)")
+	flagIOFaults   = flag.String("restart-io-faults", "", "with -restart: -io-faults spec passed to the server, e.g. seed=1,torn=0.05,short=0.05")
 )
 
 // execWorkers normalizes the -exec-workers flag: explicit serial (1)
@@ -148,6 +162,12 @@ func main() {
 	workers := *flagParallel
 	if (*flagProf || *flagProfPB != "" || *flagProfFG != "") && !*flagJSON {
 		die(fmt.Errorf("-profile, -profile-pprof, and -profile-folded require -json (they profile the measured SWE run)"))
+	}
+	if *flagRestart > 0 {
+		if err := runRestart(os.Stdout, *flagServerBin, *flagRestart, *flagStateDir, *flagIOFaults, *flagOut); err != nil {
+			die(err)
+		}
+		return
 	}
 	if *flagServeURL != "" {
 		if err := runServeLoad(os.Stdout, *flagServeURL, *flagLoad, *flagLoadW, *flagServeWait, *flagOut); err != nil {

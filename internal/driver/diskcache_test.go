@@ -1,0 +1,210 @@
+package driver
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"f90y"
+	"f90y/internal/faults"
+)
+
+func timeUnix(sec int64) time.Time { return time.Unix(sec, 0) }
+
+const diskSrc = `      PROGRAM DCACHE
+      REAL A(8), B(8)
+      INTEGER I
+      A = 2.0
+      B = 3.0
+      DO I = 1, 4
+        A = A * B + A
+      END DO
+      PRINT *, SUM(A)
+      END
+`
+
+// runThrough compiles and runs diskSrc through a fresh service,
+// returning the result for identity comparison.
+func runThrough(t *testing.T, svc *Service) (*Artifact, []string, float64) {
+	t.Helper()
+	res := svc.Run(context.Background(), Job{Name: "dc", File: "dc.f90", Source: diskSrc, Config: f90y.DefaultConfig()})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	r := res.Result()
+	return res.Artifact, r.Output, r.TotalCycles()
+}
+
+// TestDiskCacheRoundTrip: a second service with the same CacheDir
+// serves the compile from disk — no pipeline run — and the restored
+// program executes bit-identically to the freshly compiled one.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := New(1)
+	cold.CacheDir = dir
+	_, outCold, cycCold := runThrough(t, cold)
+	if st := cold.DiskStats(); st.Writes != 1 || st.Hits != 0 {
+		t.Fatalf("cold service disk stats %+v, want 1 write, 0 hits", st)
+	}
+
+	warm := New(1)
+	warm.CacheDir = dir
+	art, outWarm, cycWarm := runThrough(t, warm)
+	if st := warm.DiskStats(); st.Hits != 1 || st.Corrupt != 0 {
+		t.Fatalf("warm service disk stats %+v, want 1 hit, 0 corrupt", st)
+	}
+	if !reflect.DeepEqual(outCold, outWarm) {
+		t.Errorf("restored program output %q, compiled %q", outWarm, outCold)
+	}
+	if cycCold != cycWarm {
+		t.Errorf("restored program cycles %v, compiled %v", cycWarm, cycCold)
+	}
+	// The restored host program must be structurally complete.
+	if got, want := art.Comp.Program.CountOps(), len(art.Comp.Program.Routines); len(got) == 0 || want == 0 {
+		t.Errorf("restored program looks empty: ops %v, %d routines", got, want)
+	}
+	// Routine pointers are re-linked: every CallNode points into Routines.
+	if len(art.Comp.Program.Routines) > 0 {
+		seen := map[string]bool{}
+		for _, r := range art.Comp.Program.Routines {
+			seen[r.Name] = true
+		}
+		if !seen[art.Comp.Program.Routines[0].Name] {
+			t.Error("routine table lost names")
+		}
+	}
+}
+
+// TestDiskCacheCorruptEntryEvicted: every way an entry can be damaged —
+// torn tail, bit flip, wrong key, garbage — is detected, counted,
+// removed, and recompiled. A corrupt entry is never served.
+func TestDiskCacheCorruptEntryEvicted(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(1)
+	cold.CacheDir = dir
+	runThrough(t, cold)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (%v)", ents, err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"torn":    func(b []byte) []byte { return b[:len(b)/2] },
+		"short":   func(b []byte) []byte { return b[:len(b)-1] },
+		"bitflip": func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 1; return c },
+		"garbage": func([]byte) []byte { return []byte("not an artifact\n") },
+		"empty":   func([]byte) []byte { return nil },
+	}
+	for name, mangle := range damage {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mangle(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			svc := New(1)
+			svc.CacheDir = dir
+			_, out, _ := runThrough(t, svc)
+			st := svc.DiskStats()
+			if st.Hits != 0 || st.Corrupt != 1 {
+				t.Errorf("disk stats %+v, want 0 hits, 1 corrupt", st)
+			}
+			if len(out) == 0 {
+				t.Error("recompile after eviction produced no output")
+			}
+			// The damaged file is gone; the recompile rewrote a good one.
+			if data, err := os.ReadFile(path); err != nil || len(data) != len(pristine) {
+				t.Errorf("entry not rewritten after eviction: %d bytes, err %v", len(data), err)
+			}
+		})
+	}
+}
+
+// TestDiskCacheIOFaults: the injector tears entry writes; the damaged
+// entries are detected on the next probe, never served.
+func TestDiskCacheIOFaults(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(1)
+	cold.CacheDir = dir
+	cold.IOFaults = faults.NewIO(&faults.IOPlan{Seed: 1, Torn: 1})
+	runThrough(t, cold)
+	if st := cold.IOFaults.Stats(); st.Torn != 1 {
+		t.Fatalf("io injector stats %+v, want exactly one torn write", st)
+	}
+
+	warm := New(1)
+	warm.CacheDir = dir
+	_, out, _ := runThrough(t, warm)
+	if st := warm.DiskStats(); st.Hits != 0 || st.Corrupt != 1 {
+		t.Errorf("disk stats after torn entry %+v, want 0 hits, 1 corrupt", st)
+	}
+	if len(out) == 0 {
+		t.Error("run after torn cache entry produced no output")
+	}
+}
+
+// TestDiskCacheKeyed: different configs land in different entries; a
+// probe under the wrong config misses instead of serving the wrong
+// program.
+func TestDiskCacheKeyed(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(1)
+	svc.CacheDir = dir
+
+	cfgA := f90y.DefaultConfig()
+	cfgB := f90y.Config{} // unoptimized: different fingerprint
+	if Fingerprint(cfgA) == Fingerprint(cfgB) {
+		t.Fatal("test configs share a fingerprint")
+	}
+	ctx := context.Background()
+	if _, err := svc.Compile(ctx, "dc.f90", diskSrc, cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Compile(ctx, "dc.f90", diskSrc, cfgB); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 2 {
+		t.Errorf("two configs produced %d disk entries, want 2", len(ents))
+	}
+}
+
+// TestDiskCachePrune: the byte bound removes oldest entries first.
+func TestDiskCachePrune(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(1)
+	svc.CacheDir = dir
+	for i, name := range []string{"a.art", "b.art", "c.art"} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, make([]byte, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Strictly increasing mtimes so eviction order is deterministic.
+		mod := int64(1700000000 + i)
+		if err := os.Chtimes(path, timeUnix(mod), timeUnix(mod)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := svc.PruneDiskCache(2500); n != 1 {
+		t.Errorf("prune removed %d entries, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.art")); !os.IsNotExist(err) {
+		t.Error("oldest entry a.art survived the prune")
+	}
+	for _, name := range []string{"b.art", "c.art"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("entry %s should have survived: %v", name, err)
+		}
+	}
+	if n := svc.PruneDiskCache(0); n != 0 {
+		t.Errorf("prune with no bound removed %d entries", n)
+	}
+}

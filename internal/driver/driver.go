@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"f90y"
+	"f90y/internal/faults"
 	"f90y/internal/rt"
 )
 
@@ -132,7 +133,21 @@ type Service struct {
 	MaxCacheEntries int
 	MaxCacheBytes   int64
 
+	// CacheDir enables the persistent artifact tier under the in-memory
+	// LRU: finished compiles are written as checksummed, content-
+	// addressed entries (see diskcache.go), and a cache miss probes the
+	// directory before running the pipeline. Entries that fail their
+	// integrity or identity checks are evicted and recompiled, never
+	// served. Empty disables the tier (the CLI default). Set before the
+	// first Compile call.
+	CacheDir string
+
+	// IOFaults, when non-nil, mangles disk-tier writes (torn/short) for
+	// crash testing. Set before the first Compile call.
+	IOFaults *faults.IOInjector
+
 	mu         sync.Mutex
+	disk       DiskCacheStats
 	cache      map[Key]*entry
 	lru        *list.List // of *entry; front = most recently used
 	cacheBytes int64      // summed cost of done entries
@@ -288,6 +303,18 @@ func (s *Service) Compile(ctx context.Context, file, src string, cfg f90y.Config
 	s.cache[key] = e
 	s.mu.Unlock()
 
+	// Persistent tier: a prior process may have compiled this key. The
+	// singleflight slot is already claimed, so concurrent requesters
+	// wait on this probe exactly as they would on a compile.
+	if art := s.loadDisk(key); art != nil {
+		e.art = art
+		s.mu.Lock()
+		s.finishLocked(e, artifactCost(src, art.Comp))
+		s.mu.Unlock()
+		close(e.ready)
+		return e.art, nil
+	}
+
 	comp, err := f90y.CompileCtx(ctx, file, src, cfg)
 	if err != nil {
 		e.err = err
@@ -304,6 +331,7 @@ func (s *Service) Compile(ctx context.Context, file, src string, cfg f90y.Config
 		return nil, err
 	}
 	e.art = &Artifact{Key: key, Comp: comp}
+	s.storeDisk(key, comp.Program)
 	s.mu.Lock()
 	s.finishLocked(e, artifactCost(src, comp))
 	s.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"f90y"
@@ -126,6 +127,176 @@ func TestCacheErrorEntriesBounded(t *testing.T) {
 	}
 	if evictions < 40 {
 		t.Errorf("evictions = %d, want >= 40 for a 50-source flood over a 4-entry bound", evictions)
+	}
+}
+
+// TestConcurrentByteBoundEviction races byte-bound eviction against
+// Peek and hot-key hits from many goroutines (run under -race via
+// `make concurrency`). Distinct sources churn the LRU past its byte
+// bound while readers hammer Peek and re-Compile one hot key; every
+// returned artifact must carry the key it was asked for, and the final
+// bookkeeping must balance: bytes within bound, eviction churn
+// recorded, and the byte counter never driven negative.
+func TestConcurrentByteBoundEviction(t *testing.T) {
+	ctx := context.Background()
+	cfg := f90y.DefaultConfig()
+
+	// Learn one artifact's cost so the bound holds roughly two.
+	probe := New(1)
+	if _, err := probe.Compile(ctx, "fig9.f90", workload.Fig9(16)+"! probe\n", cfg); err != nil {
+		t.Fatal(err)
+	}
+	_, cost, _ := probe.CacheUsage()
+
+	svc := New(4)
+	svc.MaxCacheBytes = 2*cost + cost/2
+	hot := workload.Fig9(16) + "! hot\n"
+	src := func(i int) string { return workload.Fig9(16) + fmt.Sprintf("! churn%d\n", i) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		// Writer: churn distinct keys through the byte bound.
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				s := src(g*8 + i)
+				art, err := svc.Compile(ctx, "fig9.f90", s, cfg)
+				if err != nil {
+					t.Errorf("churn compile: %v", err)
+					return
+				}
+				if art.Key != KeyOf(s, cfg) {
+					t.Errorf("artifact key mismatch for churn%d", g*8+i)
+					return
+				}
+			}
+		}(g)
+		// Hot reader: the same key over and over, hit or re-compile.
+		go func() {
+			defer wg.Done()
+			want := KeyOf(hot, cfg)
+			for i := 0; i < 16; i++ {
+				art, err := svc.Compile(ctx, "fig9.f90", hot, cfg)
+				if err != nil {
+					t.Errorf("hot compile: %v", err)
+					return
+				}
+				if art.Key != want {
+					t.Error("hot artifact carries the wrong key")
+					return
+				}
+			}
+		}()
+		// Peeker: advisory residence probes racing the eviction churn.
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				svc.Peek(hot, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	entries, used, evictions := svc.CacheUsage()
+	if used < 0 {
+		t.Errorf("cache byte counter went negative: %d", used)
+	}
+	if used > svc.MaxCacheBytes {
+		t.Errorf("settled cache bytes %d exceed bound %d", used, svc.MaxCacheBytes)
+	}
+	if evictions == 0 {
+		t.Error("32 distinct keys over a ~2.5-artifact bound evicted nothing")
+	}
+	if entries == 0 {
+		t.Error("cache emptied itself; the most recent entries should survive")
+	}
+}
+
+// TestConcurrentEvictionPinsInFlight drives more simultaneous compiles
+// than the entry bound admits: in-flight entries are pinned (evicting
+// one would orphan its waiters' singleflight slot), so every request
+// must still complete with its own artifact, and once the dust settles
+// the bound must hold again.
+func TestConcurrentEvictionPinsInFlight(t *testing.T) {
+	ctx := context.Background()
+	cfg := f90y.DefaultConfig()
+	svc := New(8)
+	svc.MaxCacheEntries = 1
+
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := workload.Fig9(16) + fmt.Sprintf("! pin%d\n", i)
+			art, err := svc.Compile(ctx, "fig9.f90", s, cfg)
+			if err != nil {
+				t.Errorf("pin%d: %v", i, err)
+				return
+			}
+			if art.Key != KeyOf(s, cfg) {
+				t.Errorf("pin%d served someone else's artifact", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	entries, used, _ := svc.CacheUsage()
+	if entries > 1 {
+		t.Errorf("settled entries = %d, want <= 1 (bound) once no compile is in flight", entries)
+	}
+	if used < 0 {
+		t.Errorf("cache byte counter went negative: %d", used)
+	}
+}
+
+// TestConcurrentErrorEntryEviction floods the cache with distinct
+// deterministic compile errors from several goroutines while one
+// goroutine re-asks a fixed bad source. Error entries are bounded like
+// successes, eviction churn must not corrupt the bookkeeping, and the
+// flood must never upgrade a cached error into a success.
+func TestConcurrentErrorEntryEviction(t *testing.T) {
+	ctx := context.Background()
+	cfg := f90y.DefaultConfig()
+	svc := New(4)
+	svc.MaxCacheEntries = 4
+
+	bad := func(i int) string { return fmt.Sprintf("program p%d\nthis is not fortran\nend\n", i) }
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				if _, err := svc.Compile(ctx, "bad.f90", bad(g*12+i), cfg); err == nil {
+					t.Errorf("bad(%d) compiled", g*12+i)
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if _, err := svc.Compile(ctx, "bad.f90", bad(0), cfg); err == nil {
+					t.Error("repeated bad source compiled")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	entries, used, evictions := svc.CacheUsage()
+	if entries > 4 {
+		t.Errorf("error flood grew the cache to %d entries past the bound of 4", entries)
+	}
+	if used < 0 {
+		t.Errorf("cache byte counter went negative: %d", used)
+	}
+	if evictions == 0 {
+		t.Error("48 distinct errors over a 4-entry bound evicted nothing")
 	}
 }
 

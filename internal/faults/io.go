@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// IOPlan configures deterministic injection of torn and short writes
+// into the durable-file commit paths (journal appends, checkpoint
+// spills, cache entries). It mirrors Plan: parsed from a compact CLI
+// spec, seeded, and replayable — the same plan against the same write
+// sequence mangles the same writes.
+type IOPlan struct {
+	Seed  int64   // RNG seed (default 1)
+	Torn  float64 // per-write probability the write commits only a prefix
+	Short float64 // per-write probability the write loses its final byte
+	Spec  string  // the original spec string, for reports
+}
+
+// ParseIOSpec parses the -io-faults syntax:
+//
+//	-io-faults seed=S,torn=P,short=P
+//
+// Items are comma-separated key=value pairs:
+//
+//	seed=N   RNG seed (default 1)
+//	torn=P   per-write probability of committing only the first half
+//	short=P  per-write probability of dropping the final byte
+//
+// An empty spec returns a nil plan (injection disabled).
+func ParseIOSpec(spec string) (*IOPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &IOPlan{Seed: 1, Spec: spec}
+	for i, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: io item %d %q: missing '=' (items are key=value pairs)", i+1, item)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = parseIntField(key, val)
+		case "torn":
+			p.Torn, err = parseProb(key, val)
+		case "short":
+			p.Short, err = parseProb(key, val)
+		default:
+			return nil, fmt.Errorf("faults: io item %d: unknown key %q (want seed, torn, short)", i+1, key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// IOStats counts injection outcomes.
+type IOStats struct {
+	Writes int64 `json:"writes"` // writes offered to the injector
+	Torn   int64 `json:"torn"`   // writes committed as a prefix
+	Short  int64 `json:"short"`  // writes missing their final byte
+}
+
+// IOInjector mangles durable-write payloads. Unlike Injector it is
+// safe for concurrent use: the server's journal, spill, and cache
+// writers all run on different goroutines. All methods are nil-safe —
+// a nil injector passes every payload through untouched.
+type IOInjector struct {
+	plan IOPlan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats IOStats
+}
+
+// NewIO builds an injector from a plan. A nil plan yields a nil
+// injector (injection disabled).
+func NewIO(plan *IOPlan) *IOInjector {
+	if plan == nil {
+		return nil
+	}
+	return &IOInjector{plan: *plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Mangle draws one injection decision for a payload about to be
+// persisted and returns the bytes that should actually reach disk,
+// plus whether the write was damaged. A torn write keeps only the
+// first half of the payload; a short write drops the final byte. Both
+// leave the durable file failing its integrity check, which is the
+// point: recovery must detect and report them, never decode them.
+func (in *IOInjector) Mangle(data []byte) ([]byte, bool) {
+	if in == nil {
+		return data, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Writes++
+	if in.plan.Torn > 0 && in.rng.Float64() < in.plan.Torn {
+		in.stats.Torn++
+		return data[:len(data)/2], true
+	}
+	if in.plan.Short > 0 && in.rng.Float64() < in.plan.Short {
+		in.stats.Short++
+		if len(data) == 0 {
+			return data, true
+		}
+		return data[:len(data)-1], true
+	}
+	return data, false
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *IOInjector) Stats() IOStats {
+	if in == nil {
+		return IOStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseIOSpec(t *testing.T) {
+	p, err := ParseIOSpec("seed=7,torn=0.25,short=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Torn != 0.25 || p.Short != 0.5 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if p, err := ParseIOSpec(""); p != nil || err != nil {
+		t.Errorf("empty spec: plan=%v err=%v, want nil,nil", p, err)
+	}
+	for _, bad := range []string{"torn", "torn=2", "short=-1", "seed=x", "frob=1"} {
+		if _, err := ParseIOSpec(bad); err == nil {
+			t.Errorf("spec %q: expected a parse error", bad)
+		}
+	}
+}
+
+func TestIOInjectorNilPassthrough(t *testing.T) {
+	var in *IOInjector
+	data := []byte("hello")
+	out, damaged := in.Mangle(data)
+	if damaged || !bytes.Equal(out, data) {
+		t.Errorf("nil injector mangled the payload: %q damaged=%v", out, damaged)
+	}
+	if s := in.Stats(); s != (IOStats{}) {
+		t.Errorf("nil injector stats %+v", s)
+	}
+}
+
+// TestIOInjectorDeterministic: two injectors with the same plan mangle
+// an identical write sequence identically.
+func TestIOInjectorDeterministic(t *testing.T) {
+	plan := &IOPlan{Seed: 42, Torn: 0.3, Short: 0.3}
+	a, b := NewIO(plan), NewIO(plan)
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 200; i++ {
+		outA, dmgA := a.Mangle(payload)
+		outB, dmgB := b.Mangle(payload)
+		if dmgA != dmgB || !bytes.Equal(outA, outB) {
+			t.Fatalf("write %d diverged: a=(%q,%v) b=(%q,%v)", i, outA, dmgA, outB, dmgB)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestIOInjectorMangles: both damage kinds fire at plausible rates and
+// produce the documented shapes (half prefix / minus final byte).
+func TestIOInjectorMangles(t *testing.T) {
+	in := NewIO(&IOPlan{Seed: 1, Torn: 0.5})
+	payload := []byte("0123456789")
+	sawTorn := false
+	for i := 0; i < 100; i++ {
+		out, damaged := in.Mangle(payload)
+		if damaged {
+			sawTorn = true
+			if !bytes.Equal(out, payload[:5]) {
+				t.Fatalf("torn write kept %q, want first half %q", out, payload[:5])
+			}
+		} else if !bytes.Equal(out, payload) {
+			t.Fatalf("undamaged write altered to %q", out)
+		}
+	}
+	if !sawTorn {
+		t.Error("torn=0.5 never fired in 100 writes")
+	}
+	st := in.Stats()
+	if st.Writes != 100 || st.Torn == 0 || st.Short != 0 {
+		t.Errorf("stats %+v", st)
+	}
+
+	in = NewIO(&IOPlan{Seed: 1, Short: 0.5})
+	sawShort := false
+	for i := 0; i < 100; i++ {
+		out, damaged := in.Mangle(payload)
+		if damaged {
+			sawShort = true
+			if !bytes.Equal(out, payload[:len(payload)-1]) {
+				t.Fatalf("short write kept %q, want %q", out, payload[:len(payload)-1])
+			}
+		}
+	}
+	if !sawShort {
+		t.Error("short=0.5 never fired in 100 writes")
+	}
+}

@@ -11,6 +11,8 @@
 package lower
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 
@@ -80,6 +82,47 @@ func (st *SymTab) Arrays() []*Symbol {
 		}
 	}
 	return out
+}
+
+// Symbols carry nir.Type and shape.Shape interface values; gob needs
+// the concrete implementations registered before it can move them.
+func init() {
+	gob.Register(nir.Scalar{})
+	gob.Register(nir.DField{})
+	gob.Register(shape.Point{})
+	gob.Register(shape.Interval{})
+	gob.Register(shape.Prod{})
+	gob.Register(shape.Ref{})
+}
+
+// GobEncode serializes the table as its symbols in declaration order.
+// SymTab's fields are unexported (the map is an implementation detail),
+// so without this the gob encoding used by the driver's persistent
+// artifact cache would silently flatten the table to nothing and every
+// restored program would run against an empty store.
+func (st *SymTab) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st.All()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the table from a GobEncode payload, preserving
+// declaration order.
+func (st *SymTab) GobDecode(data []byte) error {
+	var syms []*Symbol
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&syms); err != nil {
+		return err
+	}
+	st.byName = map[string]*Symbol{}
+	st.order = nil
+	for _, s := range syms {
+		if !st.Define(s) {
+			return fmt.Errorf("lower: decode symtab: duplicate symbol %q", s.Name)
+		}
+	}
+	return nil
 }
 
 // Module is the result of lowering one program unit: the NIR program plus

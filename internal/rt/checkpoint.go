@@ -1,9 +1,13 @@
 package rt
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"f90y/internal/nir"
 )
@@ -11,6 +15,25 @@ import (
 // CkptSchema identifies the snapshot format. Bump the version when the
 // layout changes incompatibly; ReadCheckpoint rejects other schemas.
 const CkptSchema = "f90y-ckpt/v1"
+
+// ckptTrailer is the integrity trailer Write appends after the JSON
+// body: a newline, this prefix, the IEEE CRC-32 of the body as eight
+// lowercase hex digits, and a final newline. A file that ends mid-body
+// (torn write, lost tail) lacks the trailer and reads back as
+// ErrCkptTruncated; a file whose trailer disagrees with its body reads
+// back as ErrCkptCorrupt. The two are distinct sentinels so recovery
+// can report what actually happened to the file.
+const ckptTrailer = "#f90y-ckpt-crc32:"
+
+// Checkpoint file integrity sentinels, matched with errors.Is.
+var (
+	// ErrCkptTruncated reports a checkpoint file with no (or a partial)
+	// integrity trailer: the write was torn, or the tail was lost.
+	ErrCkptTruncated = errors.New("checkpoint truncated")
+	// ErrCkptCorrupt reports a checkpoint file whose body does not match
+	// its integrity trailer: bits changed after the write committed.
+	ErrCkptCorrupt = errors.New("checkpoint corrupt")
+)
 
 // CkptArray is one serialized CM array. Data round-trips exactly:
 // encoding/json renders float64 with enough digits to reproduce the
@@ -118,35 +141,117 @@ func (ck *Checkpoint) ApplyStore(st *Store) error {
 	return nil
 }
 
-// Write serializes the checkpoint to path atomically (write to a
-// temporary file in the same directory, then rename).
+// Write serializes the checkpoint to path durably and atomically: the
+// JSON body plus a CRC-32 trailer go to a temporary file in the same
+// directory, the file is fsynced, renamed over path, and the directory
+// is fsynced so the rename itself survives a crash. A reader therefore
+// sees either the previous complete checkpoint or this one — never a
+// mix — and a torn tail is detectable by the missing trailer.
 func (ck *Checkpoint) Write(path string) error {
-	data, err := json.Marshal(ck)
+	data, err := ck.Encode()
 	if err != nil {
-		return fmt.Errorf("rt: encode checkpoint: %w", err)
+		return err
 	}
+	return WriteFileAtomic(path, data)
+}
+
+// Encode renders the checkpoint's durable byte form: the JSON body
+// followed by the CRC-32 trailer ReadCheckpoint verifies. Exposed so
+// callers that must interpose on the bytes (the server's fault-injected
+// spill writes) produce exactly what Write would.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return nil, fmt.Errorf("rt: encode checkpoint: %w", err)
+	}
+	return append(body, fmt.Sprintf("\n%s%08x\n", ckptTrailer, crc32.ChecksumIEEE(body))...), nil
+}
+
+// WriteFileAtomic writes data to path via temp+fsync+rename(+dir
+// fsync): after it returns, a crashed process leaves either the old
+// file or the complete new one. Shared by every durable artifact in
+// the system (checkpoints, spill files, journal compactions, cache
+// entries) so the crash-safety discipline lives in one place.
+func WriteFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("rt: write checkpoint: %w", err)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("rt: write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rt: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("rt: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rt: close %s: %w", path, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("rt: commit checkpoint: %w", err)
+		os.Remove(tmp)
+		return fmt.Errorf("rt: commit %s: %w", path, err)
+	}
+	// Best effort: without the directory fsync the rename may be lost on
+	// power failure, but the file pair is still never torn.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }
 
-// ReadCheckpoint loads and validates a snapshot written by Write.
+// ReadCheckpoint loads and validates a snapshot written by Write. A
+// file cut off before its integrity trailer returns an error wrapping
+// ErrCkptTruncated; a complete file whose body fails its CRC (or whose
+// body does not decode) returns one wrapping ErrCkptCorrupt. Both keep
+// the path in the message so recovery logs name the casualty.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("rt: read checkpoint: %w", err)
 	}
+	body, err := checkCkptTrailer(data)
+	if err != nil {
+		return nil, fmt.Errorf("rt: checkpoint %s: %w", path, err)
+	}
 	ck := &Checkpoint{}
-	if err := json.Unmarshal(data, ck); err != nil {
-		return nil, fmt.Errorf("rt: decode checkpoint %s: %w", path, err)
+	if err := json.Unmarshal(body, ck); err != nil {
+		// The trailer matched, so the bytes are what Write produced — a
+		// body that still fails to decode is a writer bug, but for the
+		// reader it is indistinguishable from corruption.
+		return nil, fmt.Errorf("rt: checkpoint %s: decode: %v: %w", path, err, ErrCkptCorrupt)
 	}
 	if ck.Schema != CkptSchema {
 		return nil, fmt.Errorf("rt: checkpoint %s has schema %q, want %q", path, ck.Schema, CkptSchema)
 	}
 	return ck, nil
+}
+
+// checkCkptTrailer splits data into the JSON body and its trailer,
+// verifying the CRC. The trailer is fixed-width, so a partial tail
+// never parses as a valid trailer.
+func checkCkptTrailer(data []byte) ([]byte, error) {
+	// "\n" + prefix + 8 hex digits + "\n"
+	tlen := 1 + len(ckptTrailer) + 8 + 1
+	if len(data) < tlen {
+		return nil, fmt.Errorf("%d bytes, shorter than the integrity trailer: %w", len(data), ErrCkptTruncated)
+	}
+	trailer := data[len(data)-tlen:]
+	if trailer[0] != '\n' || !bytes.HasPrefix(trailer[1:], []byte(ckptTrailer)) || trailer[tlen-1] != '\n' {
+		return nil, fmt.Errorf("missing integrity trailer (torn write): %w", ErrCkptTruncated)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(trailer[1+len(ckptTrailer):tlen-1]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("unreadable integrity trailer: %w", ErrCkptTruncated)
+	}
+	body := data[:len(data)-tlen]
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("body crc32 %08x, trailer says %08x: %w", got, want, ErrCkptCorrupt)
+	}
+	return body, nil
 }

@@ -1,0 +1,114 @@
+package rt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testCkpt() *Checkpoint {
+	return &Checkpoint{
+		Schema:  CkptSchema,
+		Machine: "cm2",
+		NextOp:  3,
+		Flops:   42,
+		Scalars: map[string]float64{"i": 7},
+		Kinds:   nil,
+		Arrays:  map[string]CkptArray{"a": {Ext: []int{2}, Lo: []int{1}, Data: []float64{1.5, -2.25}}},
+	}
+}
+
+// TestCheckpointTrailerRoundTrip: Write appends the CRC trailer,
+// ReadCheckpoint verifies it, and the snapshot round-trips intact.
+func TestCheckpointTrailerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := testCkpt().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ckptTrailer) {
+		t.Fatalf("written checkpoint carries no %q trailer", ckptTrailer)
+	}
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.NextOp != 3 || ck.Flops != 42 || ck.Scalars["i"] != 7 || ck.Arrays["a"].Data[1] != -2.25 {
+		t.Errorf("round trip mangled the snapshot: %+v", ck)
+	}
+}
+
+// TestCheckpointTruncated: a file cut off mid-body (torn write) is
+// reported as ErrCkptTruncated, never as a bare decode error.
+func TestCheckpointTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := testCkpt().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 1, len(data) / 2, len(data) - 3} {
+		if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := ReadCheckpoint(path)
+		if !errors.Is(rerr, ErrCkptTruncated) {
+			t.Errorf("truncated to %d bytes: err = %v, want ErrCkptTruncated", keep, rerr)
+		}
+		if errors.Is(rerr, ErrCkptCorrupt) {
+			t.Errorf("truncated to %d bytes also matched ErrCkptCorrupt; sentinels must be distinct", keep)
+		}
+	}
+}
+
+// TestCheckpointCorrupt: a complete file whose body was bit-flipped
+// after commit fails the CRC with ErrCkptCorrupt.
+func TestCheckpointCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := testCkpt().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40 // flip a bit in the body, trailer intact
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := ReadCheckpoint(path)
+	if !errors.Is(rerr, ErrCkptCorrupt) {
+		t.Errorf("bit-flipped body: err = %v, want ErrCkptCorrupt", rerr)
+	}
+	if errors.Is(rerr, ErrCkptTruncated) {
+		t.Error("bit-flipped body also matched ErrCkptTruncated; sentinels must be distinct")
+	}
+}
+
+// TestCheckpointWriteLeavesNoTemp: the atomic write cleans its
+// temporary file up on success.
+func TestCheckpointWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := testCkpt().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "ck.json" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after Write: %v, want exactly [ck.json]", names)
+	}
+}

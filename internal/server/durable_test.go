@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// reqBody marshals a request body for the raw-client posts these tests
+// use (they need typed jobView decoding, not the map-based post helper).
+func reqBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// durSrc has ~400 top-level host boundaries (one per DO iteration), so
+// a drain always finds a checkpoint boundary to suspend at.
+const durSrc = `      PROGRAM DUR
+      REAL A(16), B(16)
+      INTEGER I
+      A = 1.5
+      B = 0.5
+      DO I = 1, 400
+        A = A * B + A
+      END DO
+      PRINT *, SUM(A)
+      END
+`
+
+// durableConfig is the shared small-server config for durability tests.
+func durableConfig(dir string) Config {
+	return Config{
+		Workers:         2,
+		QueueDepth:      8,
+		StateDir:        dir,
+		CheckpointEvery: 1,
+		Quotas:          Quotas{MaxInFlight: 8, MaxSourceBytes: 1 << 20},
+	}
+}
+
+// pollJob fetches a job view until want (a JobStatus) or the deadline.
+func pollJob(t *testing.T, hs *httptest.Server, id string, want JobStatus) jobView {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := hs.Client().Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.Status == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %q (want %q): %+v", id, v.Status, want, v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJournalTornTolerance: a WAL with a torn tail and a mid-file
+// mangled line yields every intact record plus an accurate torn count.
+func TestJournalTornTolerance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	recs := []jrec{
+		{T: "admitted", Job: "j000001", Kind: "run", Req: &runRequest{Source: "x"}},
+		{T: "started", Job: "j000001"},
+		{T: "finished", Job: "j000001", Status: 200},
+	}
+	if err := writeCompact(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// Mangle the "started" line (CRC now fails) and tear the tail.
+	lines := []byte{}
+	lines = append(lines, data...)
+	mid := len(data) / 2
+	lines[mid] ^= 0x20
+	lines = append(lines, []byte("00000000 {\"t\":\"adm")...) // torn tail, no newline
+	if err := os.WriteFile(path, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, torn, err := readJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn < 1 {
+		t.Errorf("torn = %d, want >= 1", torn)
+	}
+	for _, r := range got {
+		if r.Job != "j000001" {
+			t.Errorf("unexpected surviving record %+v", r)
+		}
+	}
+	if len(got)+int(torn) < 4 {
+		t.Errorf("records %d + torn %d should cover all 4 damaged-or-not lines", len(got), torn)
+	}
+
+	// A journal in a foreign schema is refused, not reinterpreted.
+	bad, _ := encodeRec(jrec{T: "journal", Schema: "f90y-journal/v999"})
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readJournal(path); err == nil {
+		t.Error("foreign-schema journal was accepted")
+	}
+}
+
+// TestServerSuspendResumeBitIdentical is the tentpole acceptance at
+// unit scale: a run suspended at a checkpoint boundary by drain and
+// resumed by a fresh server on the same state dir produces exactly the
+// result of a run that was never interrupted.
+func TestServerSuspendResumeBitIdentical(t *testing.T) {
+	// Baseline: the uninterrupted result.
+	base, baseHS := testServer(t, durableConfig(t.TempDir()))
+	_ = base
+	var baseline jobView
+	{
+		resp, err := baseHS.Client().Post(baseHS.URL+"/v1/run", "application/json",
+			reqBody(t, map[string]any{"file": "dur.f90", "source": durSrc}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&baseline); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || baseline.Result == nil {
+			t.Fatalf("baseline run failed: %d %+v", resp.StatusCode, baseline)
+		}
+	}
+
+	dir := t.TempDir()
+	a, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ahs := httptest.NewServer(a.Handler())
+	// Pre-arm the suspend flag: the run parks at its FIRST checkpoint
+	// boundary, deterministically, with almost all work still to do.
+	a.suspend.Store(true)
+
+	resp, err := ahs.Client().Post(ahs.URL+"/v1/run", "application/json",
+		reqBody(t, map[string]any{"file": "dur.f90", "source": durSrc, "async": true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted jobView
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async admission: %d %+v", resp.StatusCode, admitted)
+	}
+	v := pollJob(t, ahs, admitted.JobID, JobSuspended)
+	if v.HTTPStatus != http.StatusServiceUnavailable || v.Code != CodeSuspended {
+		t.Fatalf("suspended view = (%d, %s), want (503, suspended)", v.HTTPStatus, v.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	st := a.Drain(ctx)
+	cancel()
+	ahs.Close()
+	if st.Durability == nil || st.Durability.Suspended != 1 || st.Durability.SpillWrites < 1 {
+		t.Fatalf("drain durability stats %+v, want 1 suspended and >=1 spill", st.Durability)
+	}
+
+	// Epoch two: recovery resumes the spilled job to completion.
+	b, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bhs := httptest.NewServer(b.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		b.Drain(ctx)
+		cancel()
+		bhs.Close()
+	}()
+	done := pollJob(t, bhs, admitted.JobID, JobDone)
+	if done.HTTPStatus != 200 || done.Result == nil {
+		t.Fatalf("resumed job ended (%d, %s): %s", done.HTTPStatus, done.Code, done.Error)
+	}
+	if !reflect.DeepEqual(done.Result, baseline.Result) {
+		t.Errorf("resumed result diverges from uninterrupted baseline:\n resumed  %+v\n baseline %+v",
+			done.Result, baseline.Result)
+	}
+	if bst := b.Stats(); bst.Durability == nil || bst.Durability.Resumed != 1 {
+		t.Errorf("epoch-two durability stats %+v, want resumed=1", bst.Durability)
+	}
+}
+
+// TestServerRecoveryRequeuesNeverStarted: an admitted record with no
+// started/finished trace (the crash hit before a worker picked it up)
+// is re-run from scratch on the next epoch, and the id counter resumes
+// above the journaled ids.
+func TestServerRecoveryRequeuesNeverStarted(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	recs := []jrec{{
+		T: "admitted", Job: "j000007", Tenant: "crashed", Kind: "run",
+		Req: &runRequest{File: "dur.f90", Source: durSrc},
+	}}
+	if err := writeCompact(filepath.Join(dir, "journal.wal"), recs); err != nil {
+		t.Fatal(err)
+	}
+
+	s, hs := testServer(t, durableConfig(dir))
+	v := pollJob(t, hs, "j000007", JobDone)
+	if v.HTTPStatus != 200 || v.Result == nil {
+		t.Fatalf("recovered job ended (%d, %s): %s", v.HTTPStatus, v.Code, v.Error)
+	}
+	if v.Tenant != "crashed" {
+		t.Errorf("recovered job tenant %q, want %q", v.Tenant, "crashed")
+	}
+	if st := s.Stats(); st.Durability == nil || st.Durability.Requeued != 1 {
+		t.Errorf("durability stats %+v, want requeued=1", st.Durability)
+	}
+	// Fresh ids must not collide with recovered ones.
+	njs := s.jobs.newJob("t", "run")
+	if jobSeq(njs.id) <= 7 {
+		t.Errorf("fresh id %s collides with the recovered journal range", njs.id)
+	}
+	s.jobs.drop(njs)
+}
+
+// TestServerRecoveryServesFinished: finished results survive a restart
+// — the journal's finished record reloads into the retention table and
+// GET /v1/jobs/{id} answers identically next epoch.
+func TestServerRecoveryServesFinished(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ahs := httptest.NewServer(a.Handler())
+	resp, err := ahs.Client().Post(ahs.URL+"/v1/run", "application/json",
+		reqBody(t, map[string]any{"file": "dur.f90", "source": durSrc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first jobView
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || first.Result == nil {
+		t.Fatalf("first-epoch run failed: %d %+v", resp.StatusCode, first)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	a.Drain(ctx)
+	cancel()
+	ahs.Close()
+
+	s, hs := testServer(t, durableConfig(dir))
+	v := pollJob(t, hs, first.JobID, JobDone)
+	if !reflect.DeepEqual(v.Result, first.Result) {
+		t.Errorf("recovered result differs:\n epoch2 %+v\n epoch1 %+v", v.Result, first.Result)
+	}
+	if v.HTTPStatus != 200 {
+		t.Errorf("recovered job status %d, want 200", v.HTTPStatus)
+	}
+	if st := s.Stats(); st.Durability == nil || st.Durability.RecoveredDone != 1 {
+		t.Errorf("durability stats %+v, want recovered_done=1", st.Durability)
+	}
+}
+
+// TestServerRecoveryTornJournalTail: garbage appended to the WAL (a
+// torn final write) is counted and skipped; the server still starts and
+// still serves everything whose records survived.
+func TestServerRecoveryTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := []jrec{{
+		T: "admitted", Job: "j000003", Tenant: "anon", Kind: "run",
+		Req: &runRequest{File: "dur.f90", Source: durSrc},
+	}}
+	if err := writeCompact(filepath.Join(dir, "journal.wal"), recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "journal.wal"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("deadbeef {\"t\":\"adm")) // CRC cannot match this torn body
+	f.Close()
+
+	s, hs := testServer(t, durableConfig(dir))
+	v := pollJob(t, hs, "j000003", JobDone)
+	if v.HTTPStatus != 200 {
+		t.Fatalf("surviving job ended (%d, %s): %s", v.HTTPStatus, v.Code, v.Error)
+	}
+	if st := s.Stats(); st.Durability == nil || st.Durability.TornRecords < 1 {
+		t.Errorf("durability stats %+v, want torn_records>=1", st.Durability)
+	}
+}
+
+// TestServerStateless: without a StateDir the durability section is
+// absent and no state files appear — the plane is strictly opt-in.
+func TestServerStateless(t *testing.T) {
+	s, hs := testServer(t, Config{Workers: 1, QueueDepth: 4,
+		Quotas: Quotas{MaxInFlight: 4, MaxSourceBytes: 1 << 20}})
+	resp, err := hs.Client().Post(hs.URL+"/v1/run", "application/json",
+		reqBody(t, map[string]any{"file": "dur.f90", "source": durSrc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stateless run: %d", resp.StatusCode)
+	}
+	if st := s.Stats(); st.Durability != nil {
+		t.Errorf("stateless server reports durability stats: %+v", st.Durability)
+	}
+}

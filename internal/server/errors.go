@@ -35,6 +35,10 @@ package server
 //	499  client_closed     the client went away mid-run (nginx convention)
 //	503  draining          server is draining: admission refused, or an
 //	                       in-flight run was budget-killed past the grace
+//	                       (+ Retry-After)
+//	503  suspended         drain checkpointed this run; the job id stays
+//	                       valid and the run resumes bit-identically after
+//	                       restart (+ Retry-After; needs -state-dir)
 //	500  internal          anything not in this table (a bug by definition)
 //
 // 4xx are the caller's program or the caller's pacing; 503 is the
@@ -71,6 +75,7 @@ const (
 	CodeTenantBusy     Code = "tenant_busy"
 	CodeClientClosed   Code = "client_closed"
 	CodeDraining       Code = "draining"
+	CodeSuspended      Code = "suspended"
 	CodeInternal       Code = "internal"
 )
 
@@ -89,6 +94,10 @@ var (
 	// ErrClientClosed is the cancel cause used when the requesting
 	// client disconnects before its synchronous job completes.
 	ErrClientClosed = errors.New("client closed request")
+	// ErrSuspended is returned from the durable checkpoint hook when a
+	// drain is in progress: the run stops at the boundary it just
+	// spilled, and recovery resumes it from that spill after restart.
+	ErrSuspended = errors.New("job suspended for restart; poll the job id after the server returns")
 )
 
 // classify maps a job error to its HTTP status and code. compileFailed
@@ -105,6 +114,8 @@ func classify(err error, compileFailed bool) (int, Code) {
 		return http.StatusUnprocessableEntity, CodeNumericTrap
 	case errors.Is(err, faults.ErrFatal):
 		return http.StatusUnprocessableEntity, CodeFaultFatal
+	case errors.Is(err, ErrSuspended):
+		return http.StatusServiceUnavailable, CodeSuspended
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, CodeDraining
 	case errors.Is(err, ErrClientClosed):

@@ -197,13 +197,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz: readiness — 503 once draining so load balancers stop
-// routing here before the listener closes.
+// handleReadyz: readiness — 503 as the very first step of a drain
+// (notReady flips before admission closes), so load balancers stop
+// routing here while in-flight work is still being checkpointed.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.admitMu.Lock()
 	draining := s.draining
 	s.admitMu.Unlock()
-	if draining {
+	if draining || s.notReady.Load() {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -228,16 +229,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) || !s.checkSource(w, req.Source) {
 		return
 	}
-	cfg, err := req.Config.build()
-	if err != nil {
+	js := s.jobs.newJob(tenantOf(r), "compile")
+	// Compile specs journal in the run-request shape (the fields align);
+	// kind selects the compile path when the job is rebuilt.
+	js.spec = &runRequest{File: req.File, Source: req.Source, Config: req.Config}
+	if err := s.jobFromSpec(js); err != nil {
+		s.jobs.drop(js)
 		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "%v", err))
 		return
 	}
-	if req.File == "" {
-		req.File = "prog.f90"
-	}
-	js := s.jobs.newJob(tenantOf(r), "compile")
-	js.job = driver.Job{Name: js.id, File: req.File, Source: req.Source, Config: cfg}
 	js.ctx, js.cancel = withJobContext(s.baseCtx)
 	if status, env := s.admit(js); status != 0 {
 		s.fail(w, status, env)
@@ -251,33 +251,62 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) || !s.checkSource(w, req.Source) {
 		return
 	}
-	cfg, err := req.Config.build()
-	if err != nil {
+	js := s.jobs.newJob(tenantOf(r), "run")
+	js.spec = &req
+	if err := s.jobFromSpec(js); err != nil {
+		s.jobs.drop(js)
 		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "%v", err))
 		return
+	}
+	js.ctx, js.cancel = withJobContext(s.baseCtx)
+	if status, env := s.admit(js); status != 0 {
+		s.fail(w, status, env)
+		return
+	}
+	if req.Async {
+		s.stats.note(http.StatusAccepted, "")
+		s.writeJSON(w, http.StatusAccepted, js.view())
+		return
+	}
+	s.waitSync(w, r, js)
+}
+
+// jobFromSpec validates js.spec and materializes the driver job and
+// control plane onto js. It is the single constructor for both the
+// admission handlers and journal recovery, so a job rebuilt from its
+// journaled spec is configured exactly like the original admission.
+func (s *Server) jobFromSpec(js *jobState) error {
+	req := js.spec
+	if req.Source == "" {
+		return fmt.Errorf("source is required")
+	}
+	cfg, err := req.Config.build()
+	if err != nil {
+		return err
+	}
+	file := req.File
+	if file == "" {
+		file = "prog.f90"
+	}
+	if js.kind == "compile" {
+		js.job = driver.Job{Name: js.id, File: file, Source: req.Source, Config: cfg}
+		return nil
 	}
 	switch req.Target {
 	case "", "cm2", "cm5":
 	default:
-		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "unknown target %q (want cm2 or cm5)", req.Target))
-		return
+		return fmt.Errorf("unknown target %q (want cm2 or cm5)", req.Target)
 	}
 	numMode, err := rt.ParseNumericMode(req.Numeric)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "%v", err))
-		return
+		return err
 	}
 	plan, err := faults.ParseSpec(req.Faults)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "%v", err))
-		return
+		return err
 	}
 	if req.MaxCycles < 0 || req.TimeoutMS < 0 {
-		s.fail(w, http.StatusBadRequest, errorf(CodeBadRequest, "max_cycles and timeout_ms must be >= 0"))
-		return
-	}
-	if req.File == "" {
-		req.File = "prog.f90"
+		return fmt.Errorf("max_cycles and timeout_ms must be >= 0")
 	}
 
 	// Quota resolution: the request may narrow its budget and sharding,
@@ -294,11 +323,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			ExecWorkers: execW,
 		}
 	}
-
-	js := s.jobs.newJob(tenantOf(r), "run")
 	js.job = driver.Job{
 		Name:   js.id,
-		File:   req.File,
+		File:   file,
 		Source: req.Source,
 		Config: cfg,
 		Target: req.Target,
@@ -309,17 +336,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		js.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	js.ctx, js.cancel = withJobContext(s.baseCtx)
-	if status, env := s.admit(js); status != 0 {
-		s.fail(w, status, env)
-		return
-	}
-	if req.Async {
-		s.stats.note(http.StatusAccepted, "")
-		s.writeJSON(w, http.StatusAccepted, js.view())
-		return
-	}
-	s.waitSync(w, r, js)
+	return nil
 }
 
 // waitSync blocks the handler until the admitted job finishes. A client
@@ -335,6 +352,14 @@ func (s *Server) waitSync(w http.ResponseWriter, r *http.Request, js *jobState) 
 	v := js.view()
 	if v.HTTPStatus >= 400 {
 		env := errorf(v.Code, "%s", v.Error)
+		// 503s out of a drain (suspended / force-killed) advise the caller
+		// when to come back, like the admission-side 429/503 path. The
+		// terminal status was already counted by runJob.
+		if v.HTTPStatus == http.StatusServiceUnavailable {
+			env.Error.RetryAfterMS = s.retryAfter().Milliseconds()
+			secs := (env.Error.RetryAfterMS + 999) / 1000
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 		s.writeJSON(w, v.HTTPStatus, env)
 		return
 	}

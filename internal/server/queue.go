@@ -23,6 +23,9 @@ const (
 	JobQueued  JobStatus = "queued"
 	JobRunning JobStatus = "running"
 	JobDone    JobStatus = "done"
+	// JobSuspended: drain checkpointed the run mid-flight; the id stays
+	// valid and the job resumes from its spill after the server restarts.
+	JobSuspended JobStatus = "suspended"
 )
 
 // jobState is one admitted job, from admission to retention. Mutable
@@ -36,6 +39,9 @@ type jobState struct {
 	verify  bool          // run the differential oracle after a successful run
 	budget  float64       // effective MaxCycles for the verify pass
 	timeout time.Duration // per-job deadline applied by the worker
+	// spec is the validated request the job was built from; journaled on
+	// admission so recovery can rebuild the job after a crash.
+	spec *runRequest
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -53,10 +59,17 @@ type jobState struct {
 	result     *runResult
 }
 
-// finishJob settles the terminal fields and closes done.
+// finish settles the terminal fields and closes done.
 func (js *jobState) finish(status int, code Code, errMsg string, result *runResult) {
+	js.finishAs(JobDone, status, code, errMsg, result)
+}
+
+// finishAs is finish with an explicit terminal state: JobDone for a
+// settled outcome, JobSuspended for a run parked by drain (its waiters
+// are released with 503 suspended; the job itself continues next epoch).
+func (js *jobState) finishAs(st JobStatus, status int, code Code, errMsg string, result *runResult) {
 	js.mu.Lock()
-	js.status = JobDone
+	js.status = st
 	js.finished = time.Now()
 	js.httpStatus = status
 	js.code = code
@@ -80,7 +93,7 @@ func (js *jobState) view() jobView {
 	if !js.started.IsZero() {
 		v.QueueMS = durMS(js.started.Sub(js.created))
 	}
-	if js.status == JobDone {
+	if js.status == JobDone || js.status == JobSuspended {
 		v.HTTPStatus = js.httpStatus
 		v.Code = js.code
 		v.Error = js.errMsg
@@ -138,6 +151,64 @@ func (t *jobTable) newJob(tenant, kind string) *jobState {
 		done:    make(chan struct{}),
 	}
 	t.m[js.id] = js
+	t.mu.Unlock()
+	return js
+}
+
+// setSeq raises the id counter to at least n, so ids minted this epoch
+// never collide with ids recovered from the journal.
+func (t *jobTable) setSeq(n int64) {
+	t.mu.Lock()
+	if n > t.seq {
+		t.seq = n
+	}
+	t.mu.Unlock()
+}
+
+// restoreFinished re-registers a finished job from its journal record
+// so GET /v1/jobs/{id} keeps serving the same outcome across a restart.
+// The done channel is born closed — the outcome is already settled.
+func (t *jobTable) restoreFinished(id string, rec *jrec) *jobState {
+	now := time.Now()
+	js := &jobState{
+		id:       id,
+		tenant:   rec.Tenant,
+		kind:     rec.Kind,
+		status:   JobDone,
+		created:  now,
+		done:     make(chan struct{}),
+		cached:   rec.Cached,
+		finished: now,
+	}
+	js.httpStatus = rec.Status
+	js.code = rec.Code
+	js.errMsg = rec.Error
+	js.result = rec.Result
+	close(js.done)
+	t.mu.Lock()
+	t.m[id] = js
+	t.finished = append(t.finished, id)
+	for len(t.finished) > t.max {
+		delete(t.m, t.finished[0])
+		t.finished = t.finished[1:]
+	}
+	t.mu.Unlock()
+	return js
+}
+
+// restoreQueued re-registers an admitted-but-unfinished job from its
+// journal record, back in the queued state for re-admission.
+func (t *jobTable) restoreQueued(id string, rec *jrec) *jobState {
+	js := &jobState{
+		id:      id,
+		tenant:  rec.Tenant,
+		kind:    rec.Kind,
+		status:  JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	t.mu.Lock()
+	t.m[id] = js
 	t.mu.Unlock()
 	return js
 }

@@ -71,6 +71,21 @@ func (t *tenants) acquire(tenant string) bool {
 	return true
 }
 
+// adopt takes an in-flight slot for a journal-recovered job without the
+// quota check: the job was already admitted in a prior epoch, and
+// re-running the check now would turn a restart into data loss.
+func (t *tenants) adopt(tenant string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.m[tenant]
+	if st == nil {
+		st = &tenantState{}
+		t.m[tenant] = st
+	}
+	st.inflight++
+	st.admitted++
+}
+
 // release returns one in-flight slot.
 func (t *tenants) release(tenant string) {
 	t.mu.Lock()

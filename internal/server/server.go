@@ -18,6 +18,12 @@
 //   - Graceful drain on SIGTERM: stop admitting (readyz → 503), let
 //     in-flight jobs finish inside a grace period, budget-kill the
 //     stragglers via context cause ErrDraining, flush /statsz.
+//   - A crash-safe durability plane (durable.go, journal.go) behind
+//     Config.StateDir: admitted jobs are journaled, drain checkpoints
+//     in-flight runs instead of killing them, and a restarted server
+//     replays the journal — resuming checkpointed runs bit-identically,
+//     re-running never-started jobs, and re-serving finished results.
+//     Without a StateDir the server behaves exactly as before.
 //
 // Endpoints: POST /v1/compile, POST /v1/run, GET /v1/jobs/{id},
 // GET /healthz, GET /readyz, GET /statsz. See handlers.go for the JSON
@@ -31,11 +37,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"f90y/internal/driver"
+	"f90y/internal/faults"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -64,6 +73,21 @@ type Config struct {
 	// (0 = 512 entries, 256 MiB).
 	CacheEntries int
 	CacheBytes   int64
+	// StateDir enables the durability plane: the job journal, drain
+	// spill files, and the persistent artifact cache live under it, and
+	// New replays any prior epoch's journal found there. Empty (the
+	// default) disables all of it.
+	StateDir string
+	// CheckpointEvery is the spill cadence for run jobs under StateDir:
+	// a snapshot every N top-level host boundaries (0 = 8). Ignored
+	// without a StateDir.
+	CheckpointEvery int
+	// DiskCacheBytes bounds the persistent artifact cache under
+	// StateDir; oldest entries are pruned at startup (0 = 1 GiB).
+	DiskCacheBytes int64
+	// IOFaults, when non-nil, mangles durable writes (journal appends,
+	// spills, cache entries) for crash testing; see faults.ParseIOSpec.
+	IOFaults *faults.IOInjector
 	// Log receives one line per lifecycle event (nil = discard).
 	Log io.Writer
 }
@@ -106,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
 	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 8
+	}
+	if c.DiskCacheBytes == 0 {
+		c.DiskCacheBytes = 1 << 30
+	}
 	if c.Log == nil {
 		c.Log = io.Discard
 	}
@@ -127,6 +157,16 @@ type Server struct {
 
 	admitMu  sync.Mutex // guards draining + jobWG.Add vs Drain
 	draining bool
+
+	// The durability plane (nil without Config.StateDir).
+	dur *durable
+	// suspend asks in-flight runs to stop at their next checkpoint
+	// boundary (set by Drain before admission closes).
+	suspend atomic.Bool
+	// notReady flips readyz to 503 as the very first drain step, before
+	// admission closes, so load balancers route away while in-flight
+	// work is still checkpointing.
+	notReady atomic.Bool
 
 	jobWG       sync.WaitGroup // admitted jobs not yet finished
 	workerWG    sync.WaitGroup
@@ -176,8 +216,14 @@ func (st *serverStats) noteRun(d time.Duration) {
 }
 
 // New builds the server and starts its worker pool. The HTTP side is
-// inert until the handler is served (Handler / ListenAndServe).
-func New(cfg Config) *Server {
+// inert until the handler is served (Handler / ListenAndServe). With
+// Config.StateDir set, New first recovers the prior epoch: the journal
+// is replayed, finished results reload into the retention table, and
+// unfinished jobs re-enter the queue (resuming from their drain spills
+// when present) once the workers are up. Recovery errors — an unusable
+// state directory or a journal in a foreign schema — fail construction
+// rather than silently starting an amnesiac server.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	svc := driver.New(cfg.Workers)
 	svc.MaxCycles = cfg.MaxCycles
@@ -198,11 +244,36 @@ func New(cfg Config) *Server {
 	s.stats.byStatus = map[int]int64{}
 	s.stats.byCode = map[Code]int64{}
 	s.mux = s.routes()
+
+	var resume []*jobState
+	if cfg.StateDir != "" {
+		dur, recs, err := openDurable(cfg.StateDir, cfg.IOFaults, func(format string, args ...any) {
+			fmt.Fprintf(cfg.Log, format, args...)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.dur = dur
+		svc.CacheDir = filepath.Join(cfg.StateDir, "cache")
+		svc.IOFaults = cfg.IOFaults
+		if n := svc.PruneDiskCache(cfg.DiskCacheBytes); n > 0 {
+			fmt.Fprintf(cfg.Log, "f90yd: pruned %d disk cache entries\n", n)
+		}
+		var carry []jrec
+		carry, resume = s.replayJournal(recs)
+		if err := dur.compactAndOpen(carry); err != nil {
+			return nil, err
+		}
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	if len(resume) > 0 {
+		go s.enqueueRecovered(resume)
+	}
+	return s, nil
 }
 
 // Service exposes the underlying driver (tests and stats).
@@ -259,7 +330,9 @@ func (s *Server) admit(js *jobState) (int, apiError) {
 	if s.draining {
 		s.admitMu.Unlock()
 		s.jobs.drop(js)
-		return http.StatusServiceUnavailable, errorf(CodeDraining, "server is draining; not admitting new jobs")
+		e := errorf(CodeDraining, "server is draining; not admitting new jobs")
+		e.Error.RetryAfterMS = s.retryAfter().Milliseconds()
+		return http.StatusServiceUnavailable, e
 	}
 	if !s.tenants.acquire(js.tenant) {
 		s.admitMu.Unlock()
@@ -269,6 +342,12 @@ func (s *Server) admit(js *jobState) (int, apiError) {
 		return http.StatusTooManyRequests, e
 	}
 	s.jobWG.Add(1)
+	// Journal the admission before the queue send: a crash between the
+	// two re-runs the job next epoch (at-least-once), whereas the other
+	// order would lose it silently.
+	if s.dur != nil {
+		s.dur.append(jrec{T: "admitted", Job: js.id, Tenant: js.tenant, Kind: js.kind, Req: js.spec})
+	}
 	select {
 	case s.queue <- js:
 		s.admitMu.Unlock()
@@ -283,6 +362,12 @@ func (s *Server) admit(js *jobState) (int, apiError) {
 		s.jobs.drop(js)
 		e := errorf(CodeQueueFull, "admission queue is full (depth %d)", s.cfg.QueueDepth)
 		e.Error.RetryAfterMS = s.retryAfter().Milliseconds()
+		// Settle the journaled admission so recovery does not re-run a
+		// job its caller saw rejected.
+		if s.dur != nil {
+			s.dur.append(jrec{T: "finished", Job: js.id, Tenant: js.tenant, Kind: js.kind,
+				Status: http.StatusTooManyRequests, Code: CodeQueueFull, Error: e.Error.Message})
+		}
 		return http.StatusTooManyRequests, e
 	}
 }
@@ -314,6 +399,10 @@ func (s *Server) runJob(js *jobState) {
 	js.status = JobRunning
 	js.started = time.Now()
 	js.mu.Unlock()
+	if s.dur != nil {
+		s.dur.append(jrec{T: "started", Job: js.id})
+	}
+	s.prepareDurable(js)
 
 	timeout := s.cfg.RequestTimeout
 	if js.timeout > 0 && js.timeout < timeout {
@@ -329,7 +418,21 @@ func (s *Server) runJob(js *jobState) {
 	js.cached = cached
 	started := js.started
 	js.mu.Unlock()
-	js.finish(status, code, errMsg, result)
+	if code == CodeSuspended {
+		// Drain parked this run at a checkpoint boundary: waiters get 503
+		// suspended now, and — critically — no finished record is
+		// journaled, so recovery resumes the job from its spill.
+		js.finishAs(JobSuspended, status, code, errMsg, nil)
+		s.dur.count(func(st *DurabilityStats) { st.Suspended++ })
+		fmt.Fprintf(s.cfg.Log, "f90yd: job %s suspended at a checkpoint boundary\n", js.id)
+	} else {
+		js.finish(status, code, errMsg, result)
+		if s.dur != nil {
+			s.dur.append(jrec{T: "finished", Job: js.id, Tenant: js.tenant, Kind: js.kind,
+				Status: status, Code: code, Error: errMsg, Cached: cached, Result: result})
+			s.dur.removeSpill(js.id)
+		}
+	}
 
 	s.stats.noteRun(time.Since(started))
 	s.stats.note(status, code)
@@ -338,12 +441,20 @@ func (s *Server) runJob(js *jobState) {
 	s.jobWG.Done()
 }
 
-// Drain gracefully shuts the server down: stop admitting (new jobs and
-// readyz get 503), wait for in-flight jobs to finish — past ctx's
-// deadline they are killed through the context plumbing with cause
-// ErrDraining — then stop the workers and close the listener. It
-// returns the final stats snapshot; safe to call once.
+// Drain gracefully shuts the server down. The ordering is the
+// durability contract: readyz flips to 503 first (load balancers stop
+// routing while work is still live), then the suspend flag goes up so
+// in-flight runs checkpoint and park at their next boundary, then
+// admission closes. In-flight jobs that do not finish or suspend inside
+// ctx's grace are killed through the context plumbing with cause
+// ErrDraining — the checkpoint path is the graceful exit, the budget
+// kill the backstop. Returns the final stats snapshot; safe to call
+// once.
 func (s *Server) Drain(ctx context.Context) Stats {
+	s.notReady.Store(true)
+	if s.dur != nil {
+		s.suspend.Store(true)
+	}
 	s.admitMu.Lock()
 	s.draining = true
 	s.admitMu.Unlock()
@@ -361,6 +472,7 @@ func (s *Server) Drain(ctx context.Context) Stats {
 
 	s.stopOnce.Do(func() { close(s.stopWorkers) })
 	s.workerWG.Wait()
+	s.dur.close() // nothing appends after the workers stop
 
 	s.hsMu.Lock()
 	hs := s.hs
@@ -411,6 +523,8 @@ type Stats struct {
 		Evictions int64 `json:"evictions"`
 	} `json:"cache"`
 	Tenants map[string]TenantStats `json:"tenants"`
+	// Durability is present only when the plane is enabled (-state-dir).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats assembles the snapshot.
@@ -442,6 +556,7 @@ func (s *Server) Stats() Stats {
 	st.Cache.Hits, st.Cache.Misses = s.svc.CacheStats()
 	st.Cache.Entries, st.Cache.Bytes, st.Cache.Evictions = s.svc.CacheUsage()
 	st.Tenants = s.tenants.snapshot()
+	st.Durability = s.dur.snapshot(s.svc.DiskStats())
 	return st
 }
 

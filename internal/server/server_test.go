@@ -26,7 +26,10 @@ const runawaySrc = "program loop\ninteger :: i\ni = 0\ndo while (i < 1)\n  i = i
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	base := runtime.NumGoroutine()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -352,12 +355,15 @@ func TestTenantQuotaIsolation(t *testing.T) {
 // budget-kill them, and leave zero leaked goroutines (cleanup checks).
 func TestServerDrain(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{
+	s, err := New(Config{
 		Workers:    2,
 		QueueDepth: 8,
 		MaxCycles:  5e6, // in-flight runaways die by budget "or complete"
 		Quotas:     Quotas{MaxInFlight: 16, MaxSourceBytes: 1 << 20},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 	c := hs.Client()
@@ -436,7 +442,7 @@ func TestServerDrain(t *testing.T) {
 // draining outcome — never a 500, never a hang.
 func TestServerDrainForceKill(t *testing.T) {
 	base := runtime.NumGoroutine()
-	s := New(Config{
+	s, err := New(Config{
 		Workers:    1,
 		QueueDepth: 2,
 		// No budget to save us: MaxCycles huge, so only the drain kill
@@ -444,6 +450,9 @@ func TestServerDrainForceKill(t *testing.T) {
 		MaxCycles: 1e15,
 		Quotas:    Quotas{MaxInFlight: 4, MaxSourceBytes: 1 << 20},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 
