@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race smoke serve-smoke loadtest crash-smoke crash-soak fuzz-smoke profile-smoke layout-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
+.PHONY: check vet build test race smoke serve-smoke loadtest crash-smoke crash-soak fuzz-smoke profile-smoke layout-smoke jit-smoke determinism concurrency soak-short soak bench bench-exec bench-batch bench-record clean
 
 # check is the tier-1 gate (see ROADMAP.md): static analysis, a full
 # build, the race-enabled test suite, the race-enabled concurrency
@@ -10,10 +10,12 @@ GO ?= go
 # soak through the differential oracle, an end-to-end smoke of the
 # source-line cycle profiler's three artifact formats, the !HPF$
 # distribution-plane layout sweep (oracle-verified, deterministic, and
-# the layout choice must matter), the f90yd server lifecycle smoke
-# (start, load, overload, SIGTERM drain), and the durability-plane crash
-# smoke (SIGKILL mid-load, relaunch, bit-identical recovery).
-check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke layout-smoke serve-smoke crash-smoke
+# the layout choice must matter), the compiled-executor bit-identity
+# smoke (SWE + the layout kernel trio, interpreter vs JIT, plus an
+# oracle-verified JIT run), the f90yd server lifecycle smoke (start,
+# load, overload, SIGTERM drain), and the durability-plane crash smoke
+# (SIGKILL mid-load, relaunch, bit-identical recovery).
+check: vet build race concurrency smoke fuzz-smoke determinism soak-short profile-smoke layout-smoke jit-smoke serve-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,12 +37,15 @@ race:
 # identity, cancellation, the
 # sharded-executor determinism test (bit-exact stores, cycles, and
 # fault/numeric tallies across -exec-workers values, with fault
-# injection and the numeric record plane active), and the pool
-# telemetry test (workers recording into one shared collector while the
-# modeled counters and per-line cycle attribution stay bit-identical to
-# a serial run).
+# injection and the numeric record plane active), the compiled-executor
+# differential tests (chunk boundaries, chained-Mem positions, error
+# taxonomy, record-plane parity and failure-path merge, all JIT vs
+# interpreter across worker counts), and the pool telemetry test
+# (workers recording into one shared collector while the modeled
+# counters and per-line cycle attribution stay bit-identical to a
+# serial run).
 concurrency:
-	$(GO) test -race -run 'Concurrent|ExecParallelDeterminism' ./...
+	$(GO) test -race -run 'Concurrent|ExecParallelDeterminism|ExecJIT' ./...
 
 # Smoke-test the f90y-bench/v1 JSON writer end to end, serial and with
 # the parallel batch pool.
@@ -129,23 +134,34 @@ soak:
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
 
-# Sharded-executor scaling: SWE wall-clock across -exec-workers 1/2/4/8
-# (modeled metrics are identical by construction; see EXPERIMENTS.md).
+# Compiled-executor bit-identity smoke: SWE plus the layout kernel trio
+# run under the interpreter and the JIT (stores, output, and every
+# modeled cycle plane must match exactly), and an oracle-verified JIT
+# run of SWE across worker counts.
+jit-smoke:
+	$(GO) test -run 'JITSmoke' -count=1 .
+
+# Sharded-executor scaling: SWE wall-clock across -exec-workers 1/2/4/8,
+# interpreted and JIT-compiled (modeled metrics are identical across all
+# eight by construction; see EXPERIMENTS.md).
 bench-exec:
-	$(GO) test -bench 'SWE_ExecWorkers' -benchmem -run '^$$' .
+	$(GO) test -bench 'SWE_ExecWorkers|ExecJIT' -benchmem -run '^$$' .
 
 # Time the full experiment suite serial vs parallel and write the
 # f90y-batch/v1 comparison record.
 bench-batch:
 	$(GO) run ./cmd/swebench -bench-batch -o BENCH_batch.json
 
-# Refresh the committed baseline record: the f90y-bench/v1 JSON for the
-# paper-scale SWE run (with its profile summary), then the
-# sharded-executor scaling benchmark for the wall-clock numbers quoted
-# in EXPERIMENTS.md.
+# Refresh the committed baseline records: the f90y-bench/v1 JSON for
+# the paper-scale SWE run (with its profile summary), the same run with
+# the compiled executor (modeled fields must stay identical; only
+# phase wall-clock and the exec_jit marker differ), then the
+# sharded-executor scaling benchmarks — interpreted and JIT — for the
+# wall-clock numbers quoted in EXPERIMENTS.md.
 bench-record:
 	$(GO) run ./cmd/swebench -json -n 512 -steps 2 -o BENCH_baseline.json
-	$(GO) test -bench 'SWE_ExecWorkers' -benchmem -run '^$$' .
+	$(GO) run ./cmd/swebench -json -exec-jit -n 512 -steps 2 -o BENCH_jit.json
+	$(GO) test -bench 'SWE_ExecWorkers|ExecJIT' -benchmem -run '^$$' .
 
 # clean removes generated benchmark outputs but keeps the committed
 # BENCH_baseline.json (refresh it with bench-record).

@@ -108,6 +108,34 @@ func BenchmarkSWE_ExecWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkExecJIT is BenchmarkSWE_ExecWorkers with the compiled
+// closure executor engaged: same compilation, same worker sweep, same
+// modeled metrics (which are identical to the interpreter's by
+// construction — compare cycles-modeled across the two benchmarks to
+// confirm). The wall-clock ratio between matching sub-benchmarks is
+// the JIT speedup EXPERIMENTS.md records.
+func BenchmarkExecJIT(b *testing.B) {
+	src := workload.SWE(512, benchSteps)
+	comp, err := Compile("swe.f90", src, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(name("workers", w), func(b *testing.B) {
+			var last *cm2.Result
+			for i := 0; i < b.N; i++ {
+				res, err := comp.RunCtl(&cm2.Control{ExecWorkers: w, ExecJIT: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.GFLOPS(), "gflops-modeled")
+			b.ReportMetric(last.TotalCycles(), "cycles-modeled")
+		})
+	}
+}
+
 // TestE1PaperScale reproduces §6 at the calibration size and asserts the
 // paper's shape: F90-Y > CMF > *Lisp, each within 10% of the published
 // number.

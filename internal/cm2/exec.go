@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"f90y/internal/nir"
 	"f90y/internal/obs"
 	"f90y/internal/peac"
 	"f90y/internal/rt"
@@ -69,6 +70,12 @@ type ExecOpts struct {
 	// it never feeds modeled cycles, so attaching a recorder cannot
 	// perturb results. Nil (or a serial run) records nothing.
 	Rec obs.Recorder
+	// JIT selects the compiled executor (see jit.go): the routine is
+	// translated once into specialized per-instruction closures and the
+	// chain runs per chunk instead of the interpreter. Results, error
+	// strings, modeled cycles, and numeric tallies are bit-identical to
+	// the interpreter for every worker count; only wall-clock changes.
+	JIT bool
 }
 
 // ExecRoutine executes a PEAC routine functionally over the whole shape.
@@ -164,12 +171,73 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 		workers = nchunks
 	}
 
+	// Engine selection: the interpreter (execChunk) or the compiled
+	// kernel chain (jit.go). Both paths share the chunk grid, the
+	// worker pool, the workspace pool, and the numeric plane, so the
+	// choice changes wall-clock only.
+	var prog *jitProgram
+	var jstreams []stream
+	nbcast := 0
+	optOK := false
+	if o.JIT {
+		prog = jitFor(r)
+		if prog.nregs > nregs {
+			nregs = prog.nregs
+		}
+		nbcast = len(prog.scalarRegs)
+		// Kernels index streams by pointer register once per strip, so
+		// they get a dense slice instead of the map.
+		maxReg := -1
+		for reg := range streams {
+			if reg > maxReg {
+				maxReg = reg
+			}
+		}
+		jstreams = make([]stream, maxReg+1)
+		for reg, st := range streams {
+			jstreams[reg] = st
+		}
+		// The optimized chain is valid unless one of its hazard stream
+		// pairs — a store that executes between an elided load and one
+		// of its redirected reads — binds the same array as the load in
+		// this dispatch, or a sunk store's array is Integer32 (its
+		// bypassed StoreLanes would have truncated, not copied).
+		optOK = true
+		for _, hz := range prog.hazards {
+			if streams[hz[0]].arr == streams[hz[1]].arr {
+				optOK = false
+				break
+			}
+		}
+		for _, s := range prog.sunk {
+			if streams[s].arr.Kind == nir.Integer32 {
+				optOK = false
+				break
+			}
+		}
+	}
+	setup := func(ws *workspace) {
+		if prog != nil {
+			prog.bindScalars(ws, scalars)
+		}
+	}
+	runChunk := func(ws *workspace, start, w int, num *rt.Numeric) error {
+		if prog != nil {
+			env := jitEnv{ws: ws, streams: jstreams, start: start, w: w,
+				ext: ext, lo: lo, strideBelow: strideBelow,
+				num: num, subgrid: o.Subgrid, npes: o.PEs, optOK: optOK}
+			return prog.execChunk(&env)
+		}
+		return execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, num, o.Subgrid, o.PEs)
+	}
+
 	if workers <= 1 {
-		ws := getWorkspace(nregs, r.SpillSlots)
+		ws := getWorkspace(nregs, r.SpillSlots, nbcast)
 		defer putWorkspace(ws)
+		setup(ws)
 		for start := 0; start < n; start += chunkSize {
 			w := min(chunkSize, n-start)
-			if err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, o.Num, o.Subgrid, o.PEs); err != nil {
+			if err := runChunk(ws, start, w, o.Num); err != nil {
 				return fmt.Errorf("cm2: routine %s: %w", r.Name, err)
 			}
 		}
@@ -199,8 +267,9 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			ws := getWorkspace(nregs, r.SpillSlots)
+			ws := getWorkspace(nregs, r.SpillSlots, nbcast)
 			defer putWorkspace(ws)
+			setup(ws)
 			// Each worker tallies (or traps) into a private plane;
 			// record-mode counts merge after the pool drains.
 			var wnum *rt.Numeric
@@ -236,7 +305,7 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 					obs.Observe(o.Rec, "execpool/chunk-claim-wait-ns", float64(t0.Sub(claim).Nanoseconds()))
 					sp = obs.StartTrack(o.Rec, "chunk/"+r.Name, track)
 				}
-				err := execChunk(r, ws, streams, scalars, start, w, ext, lo, strideBelow, wnum, o.Subgrid, o.PEs)
+				err := runChunk(ws, start, w, wnum)
 				if o.Rec != nil {
 					sp.End()
 					obs.Observe(o.Rec, "execpool/chunk-ns", float64(time.Since(t0).Nanoseconds()))
@@ -255,6 +324,15 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 	}
 	wg.Wait()
 
+	// Merge the per-worker numeric planes before ANY exit, error paths
+	// included: the serial loop tallies record-mode counts straight into
+	// o.Num before returning its error, so a failing parallel run must
+	// surface the tallies its workers accumulated too, not drop them.
+	if o.Num != nil {
+		for _, wn := range nums {
+			o.Num.Merge(wn)
+		}
+	}
 	if failed.Load() {
 		for _, err := range errs {
 			if err != nil {
@@ -265,11 +343,6 @@ func ExecRoutineOpts(ctx context.Context, r *peac.Routine, over shape.Shape, sto
 	if int(done.Load()) < nchunks {
 		// No chunk failed but not all ran: the caller's context ended.
 		return fmt.Errorf("cm2: routine %s: %w", r.Name, rt.Canceled(ctx))
-	}
-	if o.Num != nil {
-		for _, wn := range nums {
-			o.Num.Merge(wn)
-		}
 	}
 	if TestOnlyPerturb != nil {
 		TestOnlyPerturb(r.Name, store)
@@ -289,22 +362,30 @@ type workspace struct {
 	regs  [][]float64
 	slots [][]float64
 	mem   [3][]float64
+	// bcast holds the compiled executor's scalar broadcast buffers (one
+	// per distinct scalar register a routine reads; see jit.go). The
+	// interpreter path requests none.
+	bcast [][]float64
 }
 
 var wsPool = sync.Pool{New: func() any { return &workspace{} }}
 
 // getWorkspace returns a pooled workspace with capacity for at least
-// nregs vector registers and nslots spill slots. Lane contents are
-// unspecified: PEAC routines are single basic blocks whose register
-// allocator guarantees definition before use, and every op writes
-// exactly the [0, w) lanes it is asked for.
-func getWorkspace(nregs, nslots int) *workspace {
+// nregs vector registers, nslots spill slots, and nbcast scalar
+// broadcast buffers. Lane contents are unspecified: PEAC routines are
+// single basic blocks whose register allocator guarantees definition
+// before use, every op writes exactly the [0, w) lanes it is asked for,
+// and the compiled path refills its broadcast buffers per dispatch.
+func getWorkspace(nregs, nslots, nbcast int) *workspace {
 	ws := wsPool.Get().(*workspace)
 	for len(ws.regs) < nregs {
 		ws.regs = append(ws.regs, make([]float64, chunkSize))
 	}
 	for len(ws.slots) < nslots {
 		ws.slots = append(ws.slots, make([]float64, chunkSize))
+	}
+	for len(ws.bcast) < nbcast {
+		ws.bcast = append(ws.bcast, make([]float64, chunkSize))
 	}
 	for i := range ws.mem {
 		if ws.mem[i] == nil {
@@ -384,9 +465,16 @@ func execChunk(r *peac.Routine, ws *workspace, streams map[int]stream, scalars m
 			copy(slots[in.D.N][:w], regs[in.A.N][:w])
 			continue
 		case peac.FSTRV:
+			// The unbound-pointer taxonomy: a target register no param
+			// binds is "unbound"; one bound to a coordinate stream is a
+			// distinct, read-only-target error (coordinates are computed,
+			// not stored). The compiled path produces both byte-identically.
 			st, ok := streams[in.D.N]
-			if !ok || st.arr == nil {
+			if !ok {
 				return fmt.Errorf("store to unbound pointer aP%d", in.D.N)
+			}
+			if st.arr == nil {
+				return fmt.Errorf("store to coordinate stream aP%d", in.D.N)
 			}
 			src, srcSc, err := source(in.A, ws.mem[0])
 			if err != nil {
@@ -576,7 +664,7 @@ func execChunk(r *peac.Routine, ws *workspace, streams map[int]stream, scalars m
 			return fmt.Errorf("unimplemented opcode %v", in.Mnemonic())
 		}
 		if num != nil && num.Mode != rt.NumericOff && peac.CanTrap(in.Op) {
-			if err := scanNumeric(num, idx, in, dst, start, w, subgrid, npes); err != nil {
+			if err := scanNumeric(num, idx, in.Mnemonic(), peac.ClassOf(in).String(), dst, start, w, subgrid, npes); err != nil {
 				return err
 			}
 		}
@@ -592,8 +680,12 @@ func execChunk(r *peac.Routine, ws *workspace, streams map[int]stream, scalars m
 // positive the PE attribution is clamped to the machine: a subgrid that
 // does not tile the shape exactly can otherwise compute an element-to-PE
 // quotient past the last processing element.
-func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, w, subgrid, npes int) error {
-	class := peac.ClassOf(in).String()
+//
+// The mnemonic and class strings are parameters so both executors share
+// one formatter: the interpreter computes them per scan, the compiled
+// path precomputes them per instruction — either way the trap message
+// and the record-mode class keys are byte-identical.
+func scanNumeric(num *rt.Numeric, idx int, mnemonic, class string, dst []float64, start, w, subgrid, npes int) error {
 	for i := 0; i < w; i++ {
 		v := dst[i]
 		nan := v != v
@@ -613,7 +705,7 @@ func scanNumeric(num *rt.Numeric, idx int, in peac.Instr, dst []float64, start, 
 				}
 			}
 			return fmt.Errorf("instr %d %s: %s produced at element %d (processing element %d): %w",
-				idx, in.Mnemonic(), kind, start+i, pe, rt.ErrNumeric)
+				idx, mnemonic, kind, start+i, pe, rt.ErrNumeric)
 		}
 		num.Note(class, nan)
 	}

@@ -68,6 +68,13 @@ type Control struct {
 	// changes. The analytic cycle model is computed before dispatch and
 	// is untouched by the fan-out.
 	ExecWorkers int
+	// ExecJIT selects the compiled executor for every routine dispatch:
+	// each PEAC routine is translated once into specialized Go closures
+	// (see cm2/jit.go) instead of being interpreted per chunk. Results,
+	// error strings, modeled cycles, and numeric tallies are
+	// bit-identical to the interpreter under every ExecWorkers value;
+	// only simulator wall-clock changes.
+	ExecJIT bool
 }
 
 // Machine is one CM/2 configuration.
@@ -215,11 +222,13 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 	var num *rt.Numeric
 	var hctl *hostvm.Ctl
 	workers := 0
+	jit := false
 	if ctl != nil {
 		inj = ctl.Faults
 		num = ctl.Numeric
 		res.Numeric = num
 		workers = ctl.ExecWorkers
+		jit = ctl.ExecJIT
 		comm.Faults = inj
 		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
 		if ctl.MaxCycles > 0 {
@@ -239,7 +248,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, store *rt.Store,
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers)
+			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers, jit)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -334,7 +343,7 @@ func (res *Result) emit(rec obs.Recorder) {
 // dispatch runs one PEAC routine over its shape, charging the cycle model
 // and executing it functionally over the stored arrays, optionally
 // sharded across a chunk worker pool (Control.ExecWorkers).
-func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int) error {
+func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int, jit bool) error {
 	if over == nil {
 		return fmt.Errorf("cm2: node routine %s without a shape: %w", r.Name, ErrDispatch)
 	}
@@ -365,7 +374,7 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 	res.Flops += int64(r.FlopsPerIteration()) * int64(itersPerPE) * int64(layout.PEsUsed())
 	res.NodeCalls++
 	obs.Observe(rec, "cm2/dispatch-cycles", cyc)
-	return ExecRoutineOpts(ctx, r, over, store, ExecOpts{Num: num, Subgrid: sub, PEs: m.PEs, Workers: workers, Rec: rec})
+	return ExecRoutineOpts(ctx, r, over, store, ExecOpts{Num: num, Subgrid: sub, PEs: m.PEs, Workers: workers, Rec: rec, JIT: jit})
 }
 
 // injectDispatch applies the fault plane to one node dispatch. A PE

@@ -130,11 +130,13 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 	var num *rt.Numeric
 	var hctl *hostvm.Ctl
 	workers := 0
+	jit := false
 	if ctl != nil {
 		inj = ctl.Faults
 		num = ctl.Numeric
 		res.Numeric = num
 		workers = ctl.ExecWorkers
+		jit = ctl.ExecJIT
 		comm.Faults = inj
 		hctl = &hostvm.Ctl{Faults: inj, CheckpointEvery: ctl.CheckpointEvery, MaxCycles: ctl.MaxCycles}
 		if ctl.MaxCycles > 0 {
@@ -156,7 +158,7 @@ func (m *Machine) RunCtx(ctx context.Context, prog *fe.Program, rec obs.Recorder
 
 	hooks := hostvm.Hooks{
 		Dispatch: func(r *peac.Routine, over shape.Shape) error {
-			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers)
+			return m.dispatch(ctx, r, over, store, res, rec, inj, num, workers, jit)
 		},
 		Comm: func(mv nir.Move) error { return comm.ExecMove(mv) },
 	}
@@ -262,7 +264,7 @@ func (res *Result) emitObs(rec obs.Recorder) {
 // already broadcast the block (host side); here each node's SPARC unpacks
 // arguments and drives its four vector units over a quarter of the node
 // subgrid each.
-func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int) error {
+func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shape, store *rt.Store, res *Result, rec obs.Recorder, inj *faults.Injector, num *rt.Numeric, workers int, jit bool) error {
 	if over == nil {
 		return fmt.Errorf("cm5: node routine %s without a shape: %w", r.Name, cm2.ErrDispatch)
 	}
@@ -317,5 +319,5 @@ func (m *Machine) dispatch(ctx context.Context, r *peac.Routine, over shape.Shap
 	res.NodeCalls++
 	res.PECycles = res.VUCycles + res.SPARCCycles + res.DegradeCycles
 	return cm2.ExecRoutineOpts(ctx, r, over, store,
-		cm2.ExecOpts{Num: num, Subgrid: nodeSub, PEs: m.Nodes, Workers: workers, Rec: rec})
+		cm2.ExecOpts{Num: num, Subgrid: nodeSub, PEs: m.Nodes, Workers: workers, Rec: rec, JIT: jit})
 }

@@ -95,12 +95,13 @@ func (c ClassCycles) Total() int {
 func (c CostModel) BodyCyclesByClass(body []Instr) ClassCycles {
 	var out ClassCycles
 	prev := 0
+	open := false // see BodyCycles: a zero-cost slot still opens a group
 	for _, in := range body {
 		if in.Op == JNZ {
 			continue // charged once by the trailing LoopJnz term
 		}
 		cyc := c.InstrCycles(in)
-		if in.Paired && prev > 0 {
+		if in.Paired && open {
 			if cyc > prev {
 				out[ClassOf(in)] += cyc - prev
 				prev = cyc
@@ -109,6 +110,7 @@ func (c CostModel) BodyCyclesByClass(body []Instr) ClassCycles {
 		}
 		out[ClassOf(in)] += cyc
 		prev = cyc
+		open = true
 	}
 	out[ClassLoop] += c.LoopJnz
 	return out
@@ -135,12 +137,13 @@ func (c CostModel) BodyCyclesByLine(body []Instr, loopPos source.Pos) map[LineCe
 		return loopPos
 	}
 	prev := 0
+	open := false // see BodyCycles: a zero-cost slot still opens a group
 	for _, in := range body {
 		if in.Op == JNZ {
 			continue // charged once by the trailing LoopJnz term
 		}
 		cyc := c.InstrCycles(in)
-		if in.Paired && prev > 0 {
+		if in.Paired && open {
 			if cyc > prev {
 				out[LineCell{Pos: at(in), Class: ClassOf(in)}] += cyc - prev
 				prev = cyc
@@ -149,6 +152,7 @@ func (c CostModel) BodyCyclesByLine(body []Instr, loopPos source.Pos) map[LineCe
 		}
 		out[LineCell{Pos: at(in), Class: ClassOf(in)}] += cyc
 		prev = cyc
+		open = true
 	}
 	out[LineCell{Pos: loopPos, Class: ClassLoop}] += c.LoopJnz
 	return out

@@ -3,6 +3,7 @@ package peac
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"f90y/internal/shape"
 	"f90y/internal/source"
@@ -66,30 +67,63 @@ type Routine struct {
 	// !HPF$ directives); the zero value is the default blockwise layout.
 	// The machine models use it to lay the iteration space out over PEs.
 	Dist shape.Distribution
+
+	// jitCache memoizes the compiled-executor form of the routine (an
+	// opaque value owned by the executor package; see the JIT method).
+	// An atomic box rather than a sync.Once keeps Routine free of noCopy
+	// state (go vet copylocks stays clean) and is invisible to gob, so
+	// disk-cached artifacts are unaffected.
+	jitCache atomic.Value
+}
+
+// JIT returns the routine's cached compiled-executor form, building it
+// with build on first use. build must be pure and deterministic: under
+// concurrent first use it may run more than once (every result must be
+// equivalent; the last store wins), and every stored value must share
+// one concrete type.
+func (r *Routine) JIT(build func(*Routine) any) any {
+	if v := r.jitCache.Load(); v != nil {
+		return v
+	}
+	v := build(r)
+	r.jitCache.Store(v)
+	return v
 }
 
 // Format renders the routine in the Fig. 12 assembly style: the loop
-// label, the body with dual-issued pairs on one line, and the closing jnz.
+// label, the body with each dual-issue group on one line, and the
+// closing jnz. A group is a non-paired instruction followed by every
+// consecutive Paired instruction — the same grouping the cost model
+// charges — so a chain of Paired instructions stays on a single line. A
+// body-leading Paired instruction has no partner; it renders with its
+// orphaned pair marker (a leading ", ") visible instead of silently
+// appearing unpaired.
 func (r *Routine) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s_\n", r.Name)
 	line := ""
+	open := false // a line is open (possibly the empty leading slot)
 	flush := func() {
-		if line != "" {
+		if open {
 			b.WriteString("    " + line + "\n")
 			line = ""
+			open = false
 		}
 	}
 	for _, in := range r.Body {
 		if in.Op == JNZ {
 			continue // printed at the end
 		}
-		if in.Paired && line != "" {
+		if in.Paired && open {
 			line += ", " + in.String()
-			flush()
 			continue
 		}
 		flush()
+		open = true
+		if in.Paired {
+			line = ", " + in.String()
+			continue
+		}
 		line = in.String()
 	}
 	flush()
@@ -179,18 +213,25 @@ func (c CostModel) InstrCycles(i Instr) int {
 	}
 }
 
-// BodyCycles is the cycle cost of one loop iteration: dual-issued pairs
-// cost the maximum of their two instructions, everything else accumulates
-// serially, plus the loop-control jnz.
+// BodyCycles is the cycle cost of one loop iteration: each issue group
+// (a non-paired instruction plus every consecutive Paired follower)
+// costs the maximum over its members, everything else accumulates
+// serially, plus the loop-control jnz. Whether a group is open is
+// tracked explicitly rather than inferred from a nonzero group cost, so
+// an instruction dual-issued into a zero-cost slot (a pair following a
+// NOP) still joins that group instead of being charged as a fresh
+// serial slot; a body-leading Paired instruction has no group to join
+// and opens its own.
 func (c CostModel) BodyCycles(body []Instr) int {
 	total := 0
-	prev := 0 // cost of the open issue group
+	prev := 0     // cost of the open issue group
+	open := false // an issue group is open (it may cost 0: a NOP slot)
 	for _, in := range body {
 		if in.Op == JNZ {
 			continue // charged once by the trailing LoopJnz term
 		}
 		cyc := c.InstrCycles(in)
-		if in.Paired && prev > 0 {
+		if in.Paired && open {
 			if cyc > prev {
 				total += cyc - prev
 				prev = cyc
@@ -199,6 +240,7 @@ func (c CostModel) BodyCycles(body []Instr) int {
 		}
 		total += cyc
 		prev = cyc
+		open = true
 	}
 	return total + c.LoopJnz
 }

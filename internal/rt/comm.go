@@ -73,6 +73,11 @@ type Comm struct {
 	// executing; charge attributes cycles (including fault retries) to
 	// it.
 	pos source.Pos
+	// scratch is the staging buffer comm ops reuse between transfers.
+	// Comm ops run serially on the host thread and deliver never
+	// retains the staged slice past the call, so one buffer suffices;
+	// every op overwrites every element it delivers.
+	scratch []float64
 	// Faults, when non-nil, subjects every transfer to the injection
 	// plane: drops and corruptions are detected (ack timeout,
 	// per-transfer checksum) and retried with capped exponential
@@ -80,6 +85,45 @@ type Comm struct {
 	// class bucket. Nil costs one branch per transfer and leaves every
 	// cycle total bit-identical to a fault-free build.
 	Faults *faults.Injector
+}
+
+// stage returns a length-n staging buffer backed by the comm's reused
+// scratch allocation. The caller must write every element before
+// delivering (all comm stagers do), so the buffer is never cleared.
+func (c *Comm) stage(n int) []float64 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float64, n)
+	}
+	return c.scratch[:n]
+}
+
+// stageFor returns the buffer a comm op should build its payload in:
+// the destination's own storage when the healthy path can commit in
+// place (no injector attached and the destination is distinct from
+// every source array), or the reused scratch buffer otherwise.
+// deliverArray detects an in-place payload and skips the commit copy;
+// the fault path always stages separately so drops and retransmissions
+// replay from an intact payload.
+func (c *Comm) stageFor(dst *Array, srcs ...*Array) []float64 {
+	if c.Faults == nil {
+		inPlace := true
+		for _, s := range srcs {
+			if s == dst {
+				inPlace = false
+				break
+			}
+		}
+		if inPlace {
+			return dst.Data
+		}
+	}
+	return c.stage(dst.Size())
+}
+
+func fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
 }
 
 // Restore pre-seeds the per-class and per-line cycle attribution (and
@@ -268,17 +312,49 @@ func (c *Comm) execShift(fc nir.FcnCall, tgt nir.Value) error {
 	for k := 0; k < d; k++ {
 		strideBelow *= src.Ext[k]
 	}
-	tmp := make([]float64, src.Size())
-	for off := range tmp {
-		i := (off / strideBelow) % n
-		j := i + shift
+	// Stage block by block: each (outer, i) pair covers a contiguous
+	// strideBelow-long run, so the whole shift is memmoves instead of a
+	// per-element divide/modulo to recover i from the flat offset. A
+	// shift along the lowest axis (strideBelow == 1) degenerates to
+	// one-element "runs", so it gets its own form: each n-long block is
+	// a rotation (two copies) or an end-off slide (one copy plus a
+	// boundary fill).
+	tmp := c.stageFor(out, src)
+	if strideBelow == 1 {
+		s := shift
 		if circular {
-			j = ((j % n) + n) % n
-		} else if j < 0 || j >= n {
-			tmp[off] = boundary
-			continue
+			s = ((s % n) + n) % n
 		}
-		tmp[off] = src.Data[off+(j-i)*strideBelow]
+		for base := 0; base < len(tmp); base += n {
+			switch {
+			case circular:
+				copy(tmp[base:base+n-s], src.Data[base+s:base+n])
+				copy(tmp[base+n-s:base+n], src.Data[base:base+s])
+			case s >= n || s <= -n:
+				fill(tmp[base:base+n], boundary)
+			case s >= 0:
+				copy(tmp[base:base+n-s], src.Data[base+s:base+n])
+				fill(tmp[base+n-s:base+n], boundary)
+			default:
+				fill(tmp[base:base-s], boundary)
+				copy(tmp[base-s:base+n], src.Data[base:base+n+s])
+			}
+		}
+	} else {
+		blk := n * strideBelow
+		for base := 0; base < len(tmp); base += blk {
+			for i := 0; i < n; i++ {
+				row := tmp[base+i*strideBelow : base+(i+1)*strideBelow]
+				j := i + shift
+				if circular {
+					j = ((j % n) + n) % n
+				} else if j < 0 || j >= n {
+					fill(row, boundary)
+					continue
+				}
+				copy(row, src.Data[base+j*strideBelow:base+(j+1)*strideBelow])
+			}
+		}
 	}
 
 	// Cost. Default layouts take the legacy NEWS model verbatim: local
@@ -386,7 +462,7 @@ func (c *Comm) execTranspose(fc nir.FcnCall, tgt nir.Value) error {
 		return fmt.Errorf("rt: transpose %w", ErrShape)
 	}
 	r, cl := src.Ext[0], src.Ext[1]
-	tmp := make([]float64, src.Size())
+	tmp := c.stageFor(out, src)
 	for j := 0; j < cl; j++ {
 		for i := 0; i < r; i++ {
 			tmp[j+i*cl] = src.Data[i+j*r]
@@ -464,7 +540,7 @@ func (c *Comm) execGather(fc nir.FcnCall, tgt nir.Value) error {
 	srcD, outD, _ := effectivePair(src, out)
 	ls := shape.Distribute(shape.Of(src.Ext...), c.PEs, srcD)
 	lo := shape.Distribute(shape.Of(out.Ext...), c.PEs, outD)
-	tmp := make([]float64, idx.Size())
+	tmp := c.stage(idx.Size())
 	off, local := 0, 0
 	for i := range tmp {
 		j := int(idx.Data[i]) - src.Lo[0]
@@ -495,12 +571,14 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 
 	var srcData []float64
 	var srcExt, srcLo []int
+	var srcArr *Array
 	switch a := fc.Args[0].(type) {
 	case nir.AVar:
 		arr, err := c.arrayArg(a, "cm_spread")
 		if err != nil {
 			return err
 		}
+		srcArr = arr
 		srcData, srcExt, srcLo = arr.Data, arr.Ext, arr.Lo
 	default:
 		v, err := c.scalarArg(fc.Args[0])
@@ -512,7 +590,7 @@ func (c *Comm) execSpread(fc nir.FcnCall, tgt nir.Value) error {
 	_ = srcLo
 	// Walk the output; drop the spread dimension to find the source
 	// element.
-	tmp := make([]float64, out.Size())
+	tmp := c.stageFor(out, srcArr)
 	idx := make([]int, out.Rank())
 	for off := 0; off < out.Size(); off++ {
 		sOff, stride := 0, 1

@@ -79,6 +79,40 @@ func (a *Array) StoreVal(off int, v float64) {
 	a.Data[off] = v
 }
 
+// StoreLanes writes len(src) consecutive values starting at off with the
+// array's kind semantics — the vectorized form of StoreVal, shared by the
+// executors so the per-kind conversion cannot drift between them.
+func (a *Array) StoreLanes(off int, src []float64) {
+	dst := a.Data[off : off+len(src)]
+	if a.Kind == nir.Integer32 {
+		for i, v := range src {
+			dst[i] = math.Trunc(v)
+		}
+		return
+	}
+	copy(dst, src)
+}
+
+// StoreLanesMasked is StoreLanes under a mask: lane i is written only
+// when mask[i] is nonzero.
+func (a *Array) StoreLanesMasked(off int, src, mask []float64) {
+	dst := a.Data[off : off+len(src)]
+	mask = mask[:len(src)]
+	if a.Kind == nir.Integer32 {
+		for i, v := range src {
+			if mask[i] != 0 {
+				dst[i] = math.Trunc(v)
+			}
+		}
+		return
+	}
+	for i, v := range src {
+		if mask[i] != 0 {
+			dst[i] = v
+		}
+	}
+}
+
 // Store holds all front-end scalars and CM arrays of a running program.
 type Store struct {
 	Arrays  map[string]*Array
